@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/tables at a reduced
+scale (documented in EXPERIMENTS.md), prints the series, asserts the
+headline shape, and writes the table to ``results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Default scale for benchmark sweeps (paper scale = 1.0).  Override with
+#: the REPRO_BENCH_SCALE environment variable (e.g. REPRO_BENCH_SCALE=1.0
+#: for a full-scale overnight run).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def emit(results_dir: str, name: str, text: str) -> None:
+    """Print a result table and persist it under results/."""
+    print()
+    print(text)
+    path = os.path.join(results_dir, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,20 @@
+"""A2 ablation benchmark: buffer-pool size does not flip the conclusions."""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablations
+
+
+def test_ablation_buffer_pool(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_buffer_size(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_buffer", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    dfs = result.column("DFS")
+    bfs = result.column("BFS")
+    assert dfs[-1] < dfs[0], "more buffer must help DFS"
+    for d, b in zip(dfs, bfs):
+        assert b < d, "BFS stays the winner at this NumTop at every size"

@@ -1,0 +1,26 @@
+"""A4 ablation benchmark: LRU vs clock replacement.
+
+The paper's conclusions are about access-pattern shape, not buffer-policy
+minutiae; swapping LRU for second-chance clock must keep every strategy
+ordering intact.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablations
+
+
+def test_ablation_buffer_policy(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_buffer_policy(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_buffer_policy", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    by_policy = {row[0]: row[1:] for row in result.rows}
+    for dfs, bfs, clust in by_policy.values():
+        assert bfs < dfs, "BFS must beat DFS at this NumTop under any policy"
+    # Costs under the two policies agree within a modest band.
+    for lru_cost, clock_cost in zip(by_policy["lru"], by_policy["clock"]):
+        assert abs(lru_cost - clock_cost) <= 0.5 * max(lru_cost, clock_cost)

@@ -1,0 +1,20 @@
+"""A1 ablation benchmark: DFSCACHE cost vs SizeCache."""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablations
+
+
+def test_ablation_cache_size(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_cache_size(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_cache_size", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    costs = result.column("DFSCACHE")
+    hit_rates = result.column("hit_rate")
+    assert costs[-1] < costs[0], "a larger cache must cut query cost"
+    assert hit_rates[-1] > hit_rates[0]
+    assert hit_rates == sorted(hit_rates), "hit rate grows with SizeCache"

@@ -1,0 +1,20 @@
+"""A3 ablation benchmark: outside vs inside caching ([JHIN88]'s claim)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablations
+
+
+def test_ablation_inside_vs_outside(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: ablations.run_inside_outside(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "ablation_inside_outside", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    for use_factor, outside, inside in result.rows:
+        if use_factor >= 5:
+            assert outside < inside, (
+                "outside caching must dominate once units are shared"
+            )

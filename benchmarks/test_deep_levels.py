@@ -1,0 +1,25 @@
+"""Claim-check C1 benchmark: multi-level exploration (Sections 3 & 5.1).
+
+Regenerates the depth sweep and asserts the paper's two statements: DFS
+deteriorates with levels, and BFSNODUP's benefit over BFS grows with
+depth yet stays "marginal at best".
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import deep
+
+
+def test_deep_level_exploration(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: deep.run(scale=bench_scale, span=12), rounds=1, iterations=1
+    )
+    emit(results_dir, "deep", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    dfs = result.column("DFS")
+    bfs = result.column("BFS")
+    gains = result.column("nodup_gain")
+    assert dfs == sorted(dfs), "DFS cost must grow with depth"
+    assert dfs[-1] > 2 * bfs[-1], "iteration must win deep exploration"
+    assert gains[-1] >= gains[0], "duplicate elimination gains with depth"
+    assert gains[-1] < 0.2, "...but remains marginal, as the paper found"

@@ -1,0 +1,26 @@
+"""Figure 3 benchmark: DFS vs BFS vs BFSNODUP over NumTop.
+
+Regenerates the series of Figure 3 (average I/O per query against NumTop
+at ShareFactor 5) and asserts its shape: BFS overtakes DFS around
+NumTop ~ 50, BFSNODUP stays within a whisker of BFS.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig3
+
+
+def test_fig3_dfs_bfs_bfsnodup(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig3.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig3", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    crossover = fig3.crossover_num_top(result)
+    assert crossover is not None and crossover <= 100
+    final = result.rows[-1]
+    assert final[1] > 3 * final[2], "DFS must lose badly at high NumTop"
+    for row in result.rows:
+        assert abs(row[3] - row[2]) <= max(4.0, 0.3 * row[2]), (
+            "BFSNODUP should not be much better than BFS"
+        )

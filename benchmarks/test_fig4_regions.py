@@ -1,0 +1,36 @@
+"""Figure 4 benchmark: best-strategy regions over the 3-D parameter cuboid.
+
+Regenerates the (ShareFactor, NumTop, Pr(UPDATE)) grid with the three
+contending strategies and asserts the paper's region structure.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4
+
+
+def test_fig4_best_strategy_regions(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig4.run(scale=bench_scale, coarse=True),
+        rounds=1,
+        iterations=1,
+    )
+    counts = fig4.region_counts(result)
+    emit(
+        results_dir,
+        "fig4",
+        result.table() + "\nregion sizes: %r" % (counts,),
+    )
+    benchmark.extra_info["regions"] = counts
+
+    # Clustering owns the ShareFactor=1 plane.
+    for row in fig4.winner_at(result, share_factor=1):
+        assert row[-1] == "DFSCLUST", row
+    # BFS owns high NumTop at high sharing.
+    num_tops = sorted({row[1] for row in result.rows})
+    for row in fig4.winner_at(result, share_factor=25, num_top=num_tops[-1]):
+        assert row[-1] == "BFS", row
+    # Caching never wins at a high update rate.
+    for row in result.rows:
+        if row[-1] == "DFSCACHE":
+            assert row[2] <= 0.5, row
+    assert counts["BFS"] > 0 and counts["DFSCLUST"] > 0

@@ -1,0 +1,36 @@
+"""Figure 5 benchmark: ParCost/ChildCost vs ShareFactor for DFSCLUST & BFS.
+
+Regenerates both panels of Figure 5 at NumTop = 2% of |ParentRel| in the
+paper's Pr(UPDATE) -> 1 limit and asserts the four trends plus the
+existence of the BFS/DFSCLUST crossover.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig5
+
+
+def test_fig5_cost_breakdown(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig5.run(scale=bench_scale, num_retrieves=6),
+        rounds=1,
+        iterations=1,
+    )
+    crossover = fig5.crossover_share_factor(result)
+    emit(
+        results_dir,
+        "fig5",
+        result.table() + "\nBFS overtakes DFSCLUST at ShareFactor: %r" % crossover,
+    )
+    benchmark.extra_info["crossover_share_factor"] = crossover
+
+    clust_par = result.column("clust_ParCost")
+    clust_child = result.column("clust_ChildCost")
+    bfs_par = result.column("bfs_ParCost")
+    bfs_child = result.column("bfs_ChildCost")
+
+    assert clust_par[0] == max(clust_par)  # scan dearest at perfect clustering
+    assert clust_child[0] == 0  # no chases at ShareFactor 1
+    assert max(bfs_par) - min(bfs_par) <= 0.3 * max(bfs_par)  # flat
+    assert bfs_child[0] > 2 * bfs_child[-1]  # falls with ShareFactor
+    assert crossover is not None  # BFS eventually wins
+    assert result.rows[0][3] < result.rows[0][6]  # DFSCLUST wins at SF=1

@@ -1,0 +1,34 @@
+"""Figure 7 benchmark: OverlapFactor's effect on clustering.
+
+Regenerates the Cost(DFSCLUST)/Cost(BFS) ratio curves for
+(Overlap=1, Use=5) and (Overlap=5, Use=1) and asserts that overlap
+degrades clustering and moves the break-even NumTop down.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig7
+
+
+def test_fig7_overlap_factor(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig7.run(scale=bench_scale, num_retrieves=6),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig7", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    above = sum(1 for row in result.rows if row[2] > row[1])
+    assert above >= len(result.rows) - 1, "overlap=5 curve must sit above"
+
+    def break_even(col):
+        for row in result.rows:
+            if row[col] > 1.0:
+                return row[0]
+        return None
+
+    high = break_even(2)
+    low = break_even(1)
+    assert high is not None
+    if low is not None:
+        assert high <= low, "higher overlap must lower the break-even NumTop"

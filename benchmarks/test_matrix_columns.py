@@ -1,0 +1,30 @@
+"""Claim-check C2 benchmark: comparing points across the matrix columns.
+
+The cross-column comparison the paper defers to future work (Section
+2.4), run over one logical database that carries both the procedural and
+the OID primary representations.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import matrix
+
+
+def test_matrix_cross_column(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: matrix.run(scale=max(bench_scale, 0.2)), rounds=1, iterations=1
+    )
+    emit(results_dir, "matrix", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    read_only = result.rows[0]
+    assert read_only[0] == 0.0
+    pr0 = dict(zip(result.headers[1:], read_only[1:]))
+    # Within the procedural column: more caching, less I/O.
+    assert pr0["PROC-CACHE-VALUES"] < pr0["PROC-CACHE-OIDS"] < pr0["PROC-EXEC"]
+    # Across columns, uncached: knowing identities beats deriving them.
+    assert pr0["BFS"] < pr0["PROC-EXEC"]
+    # Updates erode the cached points but not PROC-EXEC.
+    updated = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    exec_delta = updated["PROC-EXEC"] - pr0["PROC-EXEC"]
+    values_delta = updated["PROC-CACHE-VALUES"] - pr0["PROC-CACHE-VALUES"]
+    assert exec_delta < values_delta

@@ -1,0 +1,22 @@
+"""Claim-check C3 benchmark: cost-based per-query plan selection.
+
+Validates the optimizer step of Section 4: OPT must track the cheaper of
+DFS and BFS across the whole NumTop range with negligible regret.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import opt
+
+
+def test_opt_tracks_best_plan(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: opt.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    regret = opt.max_regret(result)
+    emit(results_dir, "opt", result.table() + "\nmax regret: %.3f" % regret)
+    benchmark.extra_info["max_regret"] = regret
+
+    assert regret <= 0.25, "OPT must stay close to min(DFS, BFS)"
+    first, last = result.rows[0], result.rows[-1]
+    assert first[3] <= first[2], "OPT must not pay BFS's temporary at NumTop=1"
+    assert last[3] <= 0.5 * last[1], "OPT must escape DFS at large NumTop"

@@ -1,0 +1,31 @@
+"""Section 6.2 benchmark: subobjects drawn from several relations.
+
+Regenerates the NumChildRel sweep and asserts the paper's finding: DFS
+(and hence caching) strategies are nearly flat; BFS degrades only as
+NumChildRel approaches NumTop.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import sec62
+
+
+def test_sec62_num_child_rels(benchmark, results_dir, bench_scale):
+    scale = max(bench_scale, 0.2)  # tiny scales collapse 20-way splits
+    result = benchmark.pedantic(
+        lambda: sec62.run(scale=scale), rounds=1, iterations=1
+    )
+    spreads = {
+        name: round(sec62.max_relative_spread(result, name), 3)
+        for name in sec62.STRATEGIES
+    }
+    emit(
+        results_dir,
+        "sec62",
+        result.table() + "\nrelative spreads: %r" % (spreads,),
+    )
+    benchmark.extra_info["spreads"] = spreads
+
+    assert spreads["DFS"] < 0.35
+    assert spreads["DFSCACHE"] < 0.35
+    bfs = result.column("BFS")
+    assert bfs[-1] == max(bfs) and bfs[-1] > bfs[0]

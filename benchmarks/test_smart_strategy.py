@@ -1,0 +1,25 @@
+"""Section 5.3 benchmark: SMART on a mixed-NumTop workload.
+
+Asserts the paper's claim: with a good query mix, SMART keeps caching
+competitive — beating BFS while Pr(UPDATE) is not too high — and never
+collapses to DFSCACHE's high-NumTop pathology.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import smart
+
+
+def test_smart_mixed_workload(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: smart.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(results_dir, "smart", result.table())
+    benchmark.extra_info["rows"] = result.rows
+
+    no_updates = result.rows[0]
+    assert no_updates[0] == 0.0
+    bfs, dfscache, smart_cost = no_updates[1], no_updates[2], no_updates[3]
+    assert smart_cost < bfs, "SMART must beat BFS on the mix at Pr(UPDATE)=0"
+    assert smart_cost <= dfscache * 1.05, "SMART must not lose to DFSCACHE"
+    smart_costs = result.column("SMART")
+    assert smart_costs[-1] > smart_costs[0], "updates must hurt SMART"

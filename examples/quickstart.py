@@ -1,0 +1,108 @@
+"""Quickstart: build the paper's experimental database and race the
+query-processing strategies.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CachedRep,
+    RetrieveQuery,
+    WorkloadParams,
+    build_database,
+    make_strategy,
+    measure_strategy,
+    strategies_for,
+)
+from repro.core.measure import CostMeter
+from repro.util.fmt import format_table
+
+
+def show_representation_matrix() -> None:
+    """Figure 1 of the paper, as the library exposes it."""
+    from repro.core.representations import matrix_summary
+
+    print("The representation matrix (Figure 1):")
+    rows = [
+        [primary, cached, "ok" if valid else "shaded"]
+        for primary, cached, valid in matrix_summary()
+    ]
+    print(format_table(["primary", "cached", "validity"], rows))
+    print()
+    print("Strategies for the OID column (Figure 2):")
+    for cached, clustered in [
+        (CachedRep.NONE, False),
+        (CachedRep.VALUES, False),
+        (CachedRep.NONE, True),
+    ]:
+        names = ", ".join(strategies_for(cached, clustered))
+        print(
+            "  cached=%-6s clustered=%-5s -> %s"
+            % (cached.value, clustered, names)
+        )
+    print()
+
+
+def race_one_query() -> None:
+    """Execute the same multiple-dot retrieve under every strategy."""
+    params = WorkloadParams().scaled(0.1)  # 1000 parents, ShareFactor 5
+    db = build_database(params, clustering=True, cache=True)
+    query = RetrieveQuery(100, 149, "ret1")  # NumTop = 50
+
+    print(
+        "retrieve (ParentRel.children.ret1) where %d <= OID <= %d"
+        % (query.lo, query.hi)
+    )
+    rows = []
+    for name in ("DFS", "BFS", "BFSNODUP", "DFSCACHE", "DFSCLUST", "SMART"):
+        db.reset_cache()
+        db.start_measurement(cold=True)
+        meter = CostMeter(db.disk)
+        values = make_strategy(name).retrieve(db, query, meter)
+        rows.append([name, len(values), meter.par_cost, meter.child_cost,
+                     meter.total_cost])
+    print(
+        format_table(
+            ["strategy", "values", "ParCost", "ChildCost", "total I/O"], rows
+        )
+    )
+    print()
+
+
+def measure_a_sequence() -> None:
+    """The paper's methodology: average I/O over a random query sequence."""
+    params = (
+        WorkloadParams()
+        .scaled(0.1)
+        .replace(num_top=20, num_queries=50, pr_update=0.2)
+    )
+    print(
+        "Mixed sequence: 50 retrieves at NumTop=20, Pr(UPDATE)=0.2, "
+        "ShareFactor=%d" % params.share_factor
+    )
+    rows = []
+    for name in ("BFS", "DFSCACHE", "DFSCLUST"):
+        report = measure_strategy(params, name)
+        rows.append(
+            [
+                name,
+                round(report.avg_io_per_retrieve, 1),
+                round(report.avg_retrieve_io, 1),
+                report.num_updates,
+                round(report.buffer_hit_rate, 2),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "avg I/O per retrieve", "retrieve-only", "updates",
+             "buffer hit rate"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    show_representation_matrix()
+    race_one_query()
+    measure_a_sequence()

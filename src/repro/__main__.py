@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                      # strategies & matrix
+    python -m repro run --strategy BFS --scale 0.1 --num-top 50
+    python -m repro report --scale 0.5        # every figure/table
+    python -m repro footprint --scale 0.1     # storage requirements
+    python -m repro explain --strategy BFS --num-top 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.representations import matrix_summary
+from repro.core.strategies import REGISTRY
+from repro.util.fmt import format_kv, format_table
+from repro.workload.driver import measure_strategy
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+
+
+def _params_from_args(args: argparse.Namespace) -> WorkloadParams:
+    params = WorkloadParams().scaled(args.scale)
+    overrides = {}
+    for name in ("num_top", "pr_update", "use_factor", "overlap_factor",
+                 "num_queries", "seed"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    if overrides:
+        params = params.replace(**overrides)
+    return params
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("repro %s — Jhingran & Stonebraker (ICDE 1990) reproduction\n" % __version__)
+    rows = []
+    for name in sorted(REGISTRY):
+        strategy = REGISTRY[name]
+        rows.append(
+            [
+                name,
+                "yes" if strategy.uses_cache else "no",
+                "yes" if strategy.uses_clustering else "no",
+                (strategy.__doc__ or "").strip().splitlines()[0],
+            ]
+        )
+    print(format_table(["strategy", "cache", "clustering", "description"], rows))
+    print()
+    print("Representation matrix (Figure 1):")
+    cells = [
+        [primary, cached, "ok" if valid else "shaded"]
+        for primary, cached, valid in matrix_summary()
+    ]
+    print(format_table(["primary", "cached", "validity"], cells))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    report = measure_strategy(params, args.strategy)
+    pairs = [
+        ("strategy", report.strategy),
+        ("parents", params.num_parents),
+        ("share factor", params.share_factor),
+        ("num_top", params.num_top),
+        ("pr_update", params.pr_update),
+        ("retrieves", report.num_retrieves),
+        ("updates", report.num_updates),
+        ("avg I/O per retrieve", round(report.avg_io_per_retrieve, 2)),
+        ("retrieve-only I/O", round(report.avg_retrieve_io, 2)),
+        ("ParCost per retrieve", round(report.par_cost_per_retrieve, 2)),
+        ("ChildCost per retrieve", round(report.child_cost_per_retrieve, 2)),
+        ("buffer hit rate", round(report.buffer_hit_rate, 3)),
+    ]
+    if report.cache_stats:
+        pairs.append(("cache hit rate", round(report.cache_stats["hit_rate"], 3)))
+    print(format_kv(pairs))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    argv = ["--scale", str(args.scale), "--out", args.out]
+    if args.only:
+        argv += ["--only"] + args.only
+    return report_main(argv)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain
+    from repro.core.queries import RetrieveQuery
+
+    params = _params_from_args(args)
+    strategy_cls = REGISTRY[args.strategy]
+    db = build_database(
+        params,
+        clustering=strategy_cls.uses_clustering,
+        cache=strategy_cls.uses_cache or args.strategy.startswith("PROC"),
+        procedural=args.strategy.startswith("PROC"),
+    )
+    query = RetrieveQuery(0, params.num_top - 1, "ret1")
+    print(explain(args.strategy, db, query))
+    return 0
+
+
+def cmd_footprint(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    db = build_database(params, clustering=True, cache=True)
+    rows = sorted(db.storage_footprint().items())
+    print(format_table(["relation", "pages"], rows,
+                       title="Storage footprint at scale %.2f" % args.scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show strategies and the representation matrix")
+
+    run = sub.add_parser("run", help="measure one strategy at one point")
+    run.add_argument("--strategy", required=True, choices=sorted(REGISTRY))
+    run.add_argument("--scale", type=float, default=0.1)
+    run.add_argument("--num-top", dest="num_top", type=int)
+    run.add_argument("--pr-update", dest="pr_update", type=float)
+    run.add_argument("--use-factor", dest="use_factor", type=int)
+    run.add_argument("--overlap-factor", dest="overlap_factor", type=int)
+    run.add_argument("--num-queries", dest="num_queries", type=int)
+    run.add_argument("--seed", type=int)
+
+    report = sub.add_parser("report", help="run every figure/table experiment")
+    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--out", default="results")
+    report.add_argument("--only", nargs="*")
+
+    footprint = sub.add_parser("footprint", help="show per-relation pages")
+    footprint.add_argument("--scale", type=float, default=0.1)
+
+    explain_cmd = sub.add_parser("explain", help="show a strategy's physical plan")
+    explain_cmd.add_argument("--strategy", required=True, choices=sorted(REGISTRY))
+    explain_cmd.add_argument("--scale", type=float, default=0.1)
+    explain_cmd.add_argument("--num-top", dest="num_top", type=int)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "explain": cmd_explain,
+        "run": cmd_run,
+        "report": cmd_report,
+        "footprint": cmd_footprint,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Workload advisor: the practical reading of Figure 4.
+
+The paper's decision surface tells a designer which representation
+strategy is cheapest given three workload characteristics — how shared
+subobjects are (ShareFactor = UseFactor x OverlapFactor), how many
+objects a query touches (NumTop), and the update frequency (Pr(UPDATE)).
+:func:`recommend` turns that into an executable tool: it builds a scaled
+synthetic database with the described characteristics, races the
+candidate strategies on a mixed sequence (with a warm-up so caching is
+judged at steady state), and returns the measured ranking.
+
+    >>> from repro.advisor import WorkloadSketch, recommend
+    >>> sketch = WorkloadSketch(use_factor=1, num_top_fraction=0.005,
+    ...                         pr_update=0.3)
+    >>> recommend(sketch).winner
+    'DFSCLUST'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.strategies.base import make_strategy
+from repro.errors import WorkloadError
+from repro.workload.driver import run_sequence
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+from repro.workload.queries import generate_sequence
+
+DEFAULT_CANDIDATES = ("BFS", "DFSCACHE", "DFSCLUST")
+
+
+@dataclass(frozen=True)
+class WorkloadSketch:
+    """A designer's description of the expected workload."""
+
+    #: Expected number of objects sharing a whole unit of subobjects.
+    use_factor: int = 5
+    #: Expected number of units sharing a subobject (random sharing).
+    overlap_factor: int = 1
+    #: Fraction of the object population a typical query touches.
+    num_top_fraction: float = 0.01
+    #: Fraction of operations that are updates.
+    pr_update: float = 0.0
+
+    def validate(self) -> None:
+        if self.use_factor < 1 or self.overlap_factor < 1:
+            raise WorkloadError("sharing factors must be >= 1")
+        if not 0 < self.num_top_fraction <= 1:
+            raise WorkloadError("num_top_fraction must be in (0, 1]")
+        if not 0 <= self.pr_update <= 0.99:
+            raise WorkloadError("pr_update must be in [0, 0.99]")
+
+    @property
+    def share_factor(self) -> int:
+        return self.use_factor * self.overlap_factor
+
+
+@dataclass
+class Recommendation:
+    """The measured ranking for one sketch."""
+
+    sketch: WorkloadSketch
+    costs: Dict[str, float]
+    params: WorkloadParams
+
+    @property
+    def winner(self) -> str:
+        return min(self.costs, key=lambda name: self.costs[name])
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        return sorted(self.costs.items(), key=lambda item: item[1])
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            "%s=%.1f" % (name, cost) for name, cost in self.ranking()
+        )
+        return "winner=%s (%s)" % (self.winner, parts)
+
+
+def recommend(
+    sketch: WorkloadSketch,
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+    scale: float = 0.1,
+    num_retrieves: int = 40,
+    seed: int = 42,
+    base_params: Optional[WorkloadParams] = None,
+) -> Recommendation:
+    """Race ``candidates`` on a synthetic database matching ``sketch``.
+
+    The first quarter of the sequence is an unmeasured warm-up.  The
+    returned :class:`Recommendation` carries the measured average I/O per
+    retrieve for every candidate.
+    """
+    sketch.validate()
+    if not candidates:
+        raise WorkloadError("need at least one candidate strategy")
+    params = (base_params or WorkloadParams(seed=seed)).replace(
+        use_factor=sketch.use_factor,
+        overlap_factor=sketch.overlap_factor,
+    )
+    if base_params is None:
+        params = params.scaled(scale)
+    num_top = max(1, min(params.num_parents,
+                         round(params.num_parents * sketch.num_top_fraction)))
+    params = params.replace(
+        num_top=num_top,
+        pr_update=sketch.pr_update,
+        num_queries=num_retrieves,
+    )
+
+    costs: Dict[str, float] = {}
+    for name in candidates:
+        strategy = make_strategy(name)
+        db = build_database(
+            params,
+            clustering=strategy.uses_clustering,
+            cache=strategy.uses_cache,
+        )
+        sequence = generate_sequence(params, db)
+        report = run_sequence(db, strategy, sequence, warmup=len(sequence) // 4)
+        costs[name] = report.avg_io_per_retrieve
+    return Recommendation(sketch=sketch, costs=costs, params=params)

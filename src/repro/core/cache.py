@@ -1,0 +1,279 @@
+"""The outside unit cache and its invalidation machinery.
+
+Section 3.2 of the paper:
+
+* a *unit* is "a collection of subobjects which belong to one relation and
+  which are referenced by one object";
+* cached units live in ``Cache(hashkey, value)``, "a hash relation, hashed
+  on hashkey", where the hashkey "is a function of the concatenation of
+  the OID's in that unit";
+* the cache is bounded to ``SizeCache`` units ("since the cache takes up
+  disk space, it is reasonable to place a bound on size of the cache");
+* each subobject holds an *invalidation lock* (I-lock) for every unit it
+  belongs to; updating the subobject invalidates all those cached units.
+
+This is *outside* caching — a cached unit is shared by every object
+containing that unit, which is why higher UseFactor improves DFSCACHE
+(Section 5.2.2).  Inside caching (per-object copies, no sharing) is also
+provided for the A3 ablation, as :class:`InsideUnitCache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.storage.catalog import Catalog
+from repro.storage.hashfile import HashFile, stable_hash
+from repro.storage.record import BlobField, IntField, Schema
+
+
+def unit_hashkey(child_rel: int, child_keys: Sequence[int]) -> int:
+    """The paper's hashkey: a deterministic function of the unit's OIDs."""
+    return stable_hash((child_rel,) + tuple(child_keys))
+
+
+class ILockTable:
+    """Invalidation locks: subobject -> set of unit hashkeys holding it.
+
+    The paper stores an I-lock "associated with each subobject ... for
+    each unit that it belongs to"; a lock table keyed by subobject is the
+    standard realisation ([STON87]).  Lock state is metadata, not data
+    pages, so it costs no page I/O — matching the paper, whose invalidation
+    cost is the cache deletions, not the lock bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[Tuple[int, int], Set[int]] = {}
+
+    def register(self, child_rel: int, child_keys: Iterable[int], hashkey: int) -> None:
+        for key in child_keys:
+            self._locks.setdefault((child_rel, key), set()).add(hashkey)
+
+    def unregister(
+        self, child_rel: int, child_keys: Iterable[int], hashkey: int
+    ) -> None:
+        for key in child_keys:
+            holders = self._locks.get((child_rel, key))
+            if holders is not None:
+                holders.discard(hashkey)
+                if not holders:
+                    del self._locks[(child_rel, key)]
+
+    def holders(self, child_rel: int, child_key: int) -> List[int]:
+        """Hashkeys of cached units containing the given subobject."""
+        return list(self._locks.get((child_rel, child_key), ()))
+
+    def clear(self) -> None:
+        self._locks.clear()
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+
+class CacheStats:
+    """Hit/miss/insert/eviction/invalidation counters."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "CacheStats(hits=%d, misses=%d, evictions=%d, invalidations=%d)" % (
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.invalidations,
+        )
+
+
+class UnitCache:
+    """Disk-resident cache of materialised units, bounded to SizeCache.
+
+    Payloads are the full child tuples of the unit (value caching).  The
+    replacement policy is LRU over cached units; the paper bounds the
+    cache's size but does not name a policy, and LRU is the natural choice
+    for its query mix (uniformly random object selection).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        size_cache: int,
+        unit_bytes_hint: int,
+        name: str = "Cache",
+    ) -> None:
+        if size_cache <= 0:
+            raise ValueError("size_cache must be positive, got %d" % size_cache)
+        self.size_cache = size_cache
+        self.schema = Schema(
+            [IntField("hashkey"), BlobField("value", self._payload_bytes)]
+        )
+        page_size = catalog.disk.page_size
+        units_per_page = max(1, (page_size - 48) // max(1, unit_bytes_hint + 8))
+        buckets = max(8, -(-size_cache // units_per_page))  # ceil division
+        self.relation: HashFile = catalog.create_hash(
+            name, self.schema, "hashkey", buckets
+        )
+        self._lru: "OrderedDict[int, Tuple[int, Tuple[int, ...]]]" = OrderedDict()
+        self.ilocks = ILockTable()
+        self.stats = CacheStats()
+        self._payload_sizes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # size model
+    # ------------------------------------------------------------------
+    def _payload_bytes(self, payload: Any) -> int:
+        """Size of a cached value: the bytes of the concatenated tuples."""
+        size = self._payload_sizes.get(id(payload))
+        if size is not None:
+            return size
+        # Fallback: payloads are sequences of child tuples; approximate by
+        # a fixed per-tuple estimate when no exact size was registered.
+        return sum(100 for _ in payload)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def lookup(self, hashkey: int) -> Optional[Tuple[Any, ...]]:
+        """The cached child tuples for ``hashkey``, or None on a miss."""
+        record = self.relation.lookup(hashkey)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._lru.move_to_end(hashkey)
+        return record[1]
+
+    def contains(self, hashkey: int) -> bool:
+        """Membership test WITHOUT touching pages (cache directory check).
+
+        The cache directory (which hashkeys are cached) is small metadata a
+        system keeps in memory; probing the *values* costs I/O, checking
+        membership does not.  SMART's breadth-first arm uses this.
+        """
+        return hashkey in self._lru
+
+    def bucket_of(self, hashkey: int) -> int:
+        """Physical bucket of a cached unit — lets batch readers sort
+        their probes into page order so co-located units cost one read."""
+        return self.relation._bucket(hashkey)
+
+    def insert(
+        self,
+        hashkey: int,
+        child_rel: int,
+        child_keys: Sequence[int],
+        payload: Tuple[Any, ...],
+        payload_bytes: int,
+    ) -> None:
+        """Cache a freshly materialised unit, evicting LRU units if full."""
+        if hashkey in self._lru:
+            return  # already cached (shared unit raced in via another parent)
+        while len(self._lru) >= self.size_cache:
+            victim, (victim_rel, victim_keys) = self._lru.popitem(last=False)
+            self.relation.delete_if_present(victim)
+            self.ilocks.unregister(victim_rel, victim_keys, victim)
+            self.stats.evictions += 1
+        self._payload_sizes[id(payload)] = payload_bytes
+        self.relation.insert((hashkey, payload))
+        self._payload_sizes.pop(id(payload), None)
+        self._lru[hashkey] = (child_rel, tuple(child_keys))
+        self.ilocks.register(child_rel, child_keys, hashkey)
+        self.stats.insertions += 1
+
+    def invalidate_for_subobject(self, child_rel: int, child_key: int) -> int:
+        """Drop every cached unit whose I-lock the subobject holds.
+
+        Returns how many units were invalidated.  The hash-file deletions
+        are real page I/O — "the cost of invalidation has to be paid"
+        (Section 5.2.1).
+        """
+        count = 0
+        for hashkey in self.ilocks.holders(child_rel, child_key):
+            entry = self._lru.pop(hashkey, None)
+            if entry is None:
+                continue
+            self.relation.delete_if_present(hashkey)
+            self.ilocks.unregister(entry[0], entry[1], hashkey)
+            count += 1
+        self.stats.invalidations += count
+        return count
+
+    def reset(self) -> None:
+        """Empty the cache (between experiment points)."""
+        self.relation.truncate()
+        self._lru.clear()
+        self.ilocks.clear()
+        self.stats.reset()
+
+    @property
+    def num_cached(self) -> int:
+        return len(self._lru)
+
+    def cached_hashkeys(self) -> List[int]:
+        return list(self._lru.keys())
+
+
+class InsideUnitCache:
+    """Inside caching: one cached copy *per referencing object*.
+
+    Used only by the A3 ablation.  The cached value cannot be shared, so
+    the key is the parent object, not the unit; capacity is still counted
+    in units.  Implemented over the same hash-relation machinery.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        size_cache: int,
+        unit_bytes_hint: int,
+        name: str = "InsideCache",
+    ) -> None:
+        self._inner = UnitCache(catalog, size_cache, unit_bytes_hint, name)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._inner.stats
+
+    @property
+    def num_cached(self) -> int:
+        return self._inner.num_cached
+
+    def _key_for(self, parent_key: int) -> int:
+        return stable_hash(("inside", parent_key))
+
+    def lookup(self, parent_key: int) -> Optional[Tuple[Any, ...]]:
+        return self._inner.lookup(self._key_for(parent_key))
+
+    def insert(
+        self,
+        parent_key: int,
+        child_rel: int,
+        child_keys: Sequence[int],
+        payload: Tuple[Any, ...],
+        payload_bytes: int,
+    ) -> None:
+        self._inner.insert(
+            self._key_for(parent_key), child_rel, child_keys, payload, payload_bytes
+        )
+
+    def invalidate_for_subobject(self, child_rel: int, child_key: int) -> int:
+        return self._inner.invalidate_for_subobject(child_rel, child_key)
+
+    def reset(self) -> None:
+        self._inner.reset()

@@ -1,0 +1,236 @@
+"""Clustering of subobjects with their referencing objects.
+
+Section 3.3 of the paper: ClusterRel replaces ParentRel and ChildRel,
+"structured as a B-tree on cluster#"; "an object and the subobjects
+clustered with it have the same cluster#, and hence are physically
+clustered"; random access by OID goes through a static ISAM index on
+ClusterRel.OID.
+
+The clustering *assignment* C ⊆ OS maps each stored subobject to exactly
+one object:
+
+* each unit's parent is chosen uniformly at random among the objects
+  containing it ("in the absence of any knowledge, o should be randomly
+  chosen from UseFactor possibilities");
+* under OverlapFactor > 1 a subobject belongs to several units; it is
+  physically placed with whichever unit claims it first in a random unit
+  order, reproducing the paper's U-1/U0/U1 fragmentation example — the
+  remaining parents must chase it with random accesses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.oid import Oid
+from repro.errors import KeyNotFoundError
+from repro.storage.btree import BTreeFile
+from repro.storage.catalog import Catalog
+from repro.storage.isam import IsamIndex
+from repro.storage.record import (
+    CharField,
+    IntField,
+    OidListField,
+    Schema,
+)
+
+
+@dataclass
+class ClusterAssignment:
+    """The outcome of the clustering decision, before any page is built.
+
+    ``home_parent[(rel, child_key)]`` is the parent whose cluster stores
+    the subobject; ``claimed[parent_key]`` lists the subobjects (in key
+    order) physically placed in that parent's cluster.
+    """
+
+    home_parent: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    claimed: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def num_placed(self) -> int:
+        return len(self.home_parent)
+
+
+def assign_clusters(units: Sequence, rng: random.Random) -> ClusterAssignment:
+    """Choose cluster homes for every subobject.
+
+    ``units`` are :class:`repro.core.database.Unit` objects (duck-typed:
+    ``child_rel``, ``child_keys``, ``parents``).  Units are processed in a
+    random order; each unit's chosen parent claims the unit's subobjects
+    that no earlier unit has claimed.
+    """
+    assignment = ClusterAssignment()
+    order = list(range(len(units)))
+    rng.shuffle(order)
+    for unit_index in order:
+        unit = units[unit_index]
+        if not unit.parents:
+            continue  # an unreferenced unit clusters nowhere
+        parent = unit.parents[rng.randrange(len(unit.parents))]
+        bucket = assignment.claimed.setdefault(parent, [])
+        for child_key in unit.child_keys:
+            ref = (unit.child_rel, child_key)
+            if ref not in assignment.home_parent:
+                assignment.home_parent[ref] = parent
+                bucket.append(ref)
+    for refs in assignment.claimed.values():
+        refs.sort()
+    return assignment
+
+
+class ClusterStore:
+    """ClusterRel plus its OID index.
+
+    Record layout (the union of ParentRel's and ChildRel's attributes,
+    Section 4): ``(ck, oid, ret1, ret2, ret3, dummy, children)`` where
+
+    * ``ck`` is the B-tree key: ``cluster# * stride + rank`` with rank 0
+      for the parent object and 1..SizeUnit for its clustered subobjects
+      (cluster# equals the parent's primary key, so a qualification on a
+      ParentRel OID range translates directly into a ``ck`` range);
+    * ``oid`` is the encoded OID of the stored object or subobject;
+    * ``children`` is the parent's OID list (empty for subobjects).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        max_children: int,
+        dummy_width: int,
+        name: str = "ClusterRel",
+    ) -> None:
+        self.catalog = catalog
+        self.stride = max_children + 2
+        self.schema = Schema(
+            [
+                IntField("ck"),
+                IntField("oid"),
+                IntField("ret1"),
+                IntField("ret2"),
+                IntField("ret3"),
+                CharField("dummy", max(dummy_width, 1)),
+                OidListField("children", max_children),
+            ]
+        )
+        self.relation: BTreeFile = catalog.create_btree(name, self.schema, "ck")
+        self.oid_index: IsamIndex = catalog.create_isam_index(name + ".OID-isam")
+        self._oid_field = self.schema.field_index("oid")
+        self._children_field = self.schema.field_index("children")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        parent_records: Iterable[Tuple[Any, ...]],
+        parent_schema: Schema,
+        child_fetch,
+        assignment: ClusterAssignment,
+        leftover_children: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        """Bulk-load ClusterRel from the logical database.
+
+        ``parent_records`` must arrive in parent-key order;
+        ``child_fetch(rel_index, child_key)`` returns the child tuple
+        ``(key, ret1, ret2, ret3, dummy)``.  ``leftover_children`` are
+        subobjects no cluster claimed (unreferenced tails of the random
+        generation); ClusterRel stores *all* objects and subobjects, so
+        they are appended in trailing clusters past the parents.  Build
+        time is not part of any measured query sequence.
+        """
+        p_oid = parent_schema.field_index("oid")
+        p_children = parent_schema.field_index("children")
+        p_ret = [parent_schema.field_index(n) for n in ("ret1", "ret2", "ret3")]
+        p_dummy = parent_schema.field_index("dummy")
+
+        records: List[Tuple[Any, ...]] = []
+        index_entries: List[Tuple[int, int]] = []
+        for parent in parent_records:
+            parent_key = parent[p_oid]
+            cluster_no = parent_key
+            base = cluster_no * self.stride
+            parent_oids: List[Oid] = list(parent[p_children])
+            records.append(
+                (
+                    base,
+                    Oid(0, parent_key).encode(),
+                    parent[p_ret[0]],
+                    parent[p_ret[1]],
+                    parent[p_ret[2]],
+                    parent[p_dummy],
+                    parent_oids,
+                )
+            )
+            for rank, (rel_index, child_key) in enumerate(
+                assignment.claimed.get(parent_key, ()), start=1
+            ):
+                child = child_fetch(rel_index, child_key)
+                ck = base + rank
+                encoded = Oid(rel_index + 1, child_key).encode()
+                records.append(
+                    (ck, encoded, child[1], child[2], child[3], child[4], [])
+                )
+                index_entries.append((encoded, ck))
+
+        # Trailing clusters for subobjects nothing claimed.
+        next_cluster = 0 if not records else records[-1][0] // self.stride + 1
+        rank = self.stride  # force a fresh cluster on the first leftover
+        for rel_index, child_key in sorted(leftover_children):
+            rank += 1
+            if rank >= self.stride:
+                cluster_no = next_cluster
+                next_cluster += 1
+                rank = 1
+            child = child_fetch(rel_index, child_key)
+            ck = cluster_no * self.stride + rank
+            encoded = Oid(rel_index + 1, child_key).encode()
+            records.append((ck, encoded, child[1], child[2], child[3], child[4], []))
+            index_entries.append((encoded, ck))
+
+        self.relation.bulk_load(records)
+        index_entries.sort()
+        self.oid_index.build(index_entries)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def parent_ck(self, parent_key: int) -> int:
+        return parent_key * self.stride
+
+    def is_parent_record(self, record: Tuple[Any, ...]) -> bool:
+        return record[0] % self.stride == 0
+
+    def scan_parent_range(self, lo_parent: int, hi_parent: int):
+        """All ClusterRel records in the clusters of parents [lo, hi]."""
+        lo_ck = self.parent_ck(lo_parent)
+        hi_ck = self.parent_ck(hi_parent + 1) - 1
+        return self.relation.range_scan(lo_ck, hi_ck)
+
+    def fetch_subobject(self, rel_index: int, child_key: int) -> Tuple[Any, ...]:
+        """Random access to a subobject: ISAM probe, then B-tree fetch."""
+        encoded = Oid(rel_index + 1, child_key).encode()
+        ck = self.oid_index.get(encoded)
+        if ck is None:
+            raise KeyNotFoundError(
+                "subobject %d.%d not in ClusterRel" % (rel_index, child_key)
+            )
+        return self.relation.lookup_one(ck)
+
+    def update_subobject(self, rel_index: int, child_key: int, field_name: str, value: Any) -> None:
+        """In-place update of a subobject located via the OID index."""
+        encoded = Oid(rel_index + 1, child_key).encode()
+        ck = self.oid_index.get(encoded)
+        if ck is None:
+            raise KeyNotFoundError(
+                "subobject %d.%d not in ClusterRel" % (rel_index, child_key)
+            )
+        self.relation.update_field(ck, field_name, value)
+
+    def oid_of(self, record: Tuple[Any, ...]) -> Oid:
+        return Oid.decode(record[self._oid_field])
+
+    def children_of(self, record: Tuple[Any, ...]) -> List[Oid]:
+        return list(record[self._children_field])

@@ -1,0 +1,111 @@
+"""Cost measurement.
+
+The paper's yardstick is average I/O traffic, split for Figure 5 into
+``ParCost`` ("the cost of accessing the tuples of ParentRel") and
+``ChildCost`` ("the cost of fetching the subobjects").  A
+:class:`CostMeter` wraps the disk counters and attributes I/O to named
+phases; strategies bracket their parent-access and subobject-fetch work
+with :meth:`CostMeter.phase`.
+
+Standard phase names (strategies may add others):
+
+* ``"parent"`` — locating/scanning qualifying parent objects;
+* ``"child"``  — fetching subobject values (joins, cache probes,
+  materialisation, random cluster accesses);
+* ``"update"`` — update queries, including cache invalidation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.storage.disk import DiskManager, IoSnapshot
+
+PARENT_PHASE = "parent"
+CHILD_PHASE = "child"
+UPDATE_PHASE = "update"
+
+
+class CostMeter:
+    """Accumulates per-phase I/O deltas read from a :class:`DiskManager`."""
+
+    def __init__(self, disk: DiskManager) -> None:
+        self.disk = disk
+        self._phases: Dict[str, IoSnapshot] = {}
+        self._active: Optional[str] = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute I/O inside the ``with`` block to phase ``name``.
+
+        Phases do not nest: a strategy is either touching parents or
+        fetching subobjects, never both "at once".
+        """
+        if self._active is not None:
+            raise RuntimeError(
+                "phase %r started while %r active" % (name, self._active)
+            )
+        self._active = name
+        before = self.disk.snapshot()
+        try:
+            yield
+        finally:
+            delta = self.disk.snapshot() - before
+            self._phases[name] = self._phases.get(name, IoSnapshot()) + delta
+            self._active = None
+
+    # ------------------------------------------------------------------
+    def io(self, name: str) -> IoSnapshot:
+        """Accumulated I/O of phase ``name`` (zero if never entered)."""
+        return self._phases.get(name, IoSnapshot())
+
+    def cost(self, name: str) -> int:
+        """Total page I/Os of phase ``name``."""
+        return self.io(name).total
+
+    @property
+    def par_cost(self) -> int:
+        return self.cost(PARENT_PHASE)
+
+    @property
+    def child_cost(self) -> int:
+        return self.cost(CHILD_PHASE)
+
+    @property
+    def update_cost(self) -> int:
+        return self.cost(UPDATE_PHASE)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(snap.total for snap in self._phases.values())
+
+    def phases(self) -> Dict[str, IoSnapshot]:
+        """Copy of the per-phase accumulators."""
+        return dict(self._phases)
+
+    def merge(self, other: "CostMeter") -> None:
+        """Fold another meter's accumulators into this one."""
+        for name, snap in other._phases.items():
+            self._phases[name] = self._phases.get(name, IoSnapshot()) + snap
+
+    def reset(self) -> None:
+        self._phases.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            "%s=%d" % (name, snap.total) for name, snap in sorted(self._phases.items())
+        )
+        return "CostMeter(%s)" % parts
+
+
+class NullMeter(CostMeter):
+    """A meter that measures nothing — for unmetered strategy calls."""
+
+    def __init__(self) -> None:  # no disk needed
+        self._phases = {}
+        self._active = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield

@@ -1,0 +1,42 @@
+"""Object identifiers.
+
+Section 2.2 of the paper: "we use the simplest OID's that provide location
+transparency — the concatenation of the relation identifier and the
+primary key of a tuple."  An :class:`Oid` is exactly that pair.  For
+storage inside integer-keyed structures (the ISAM index on ClusterRel.OID,
+temporary relations) it packs into a single int with :meth:`Oid.encode`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Keys occupy the low digits of an encoded OID; relations must therefore
+#: not exceed this many tuples.  10^9 comfortably covers the paper's
+#: cardinalities (10,000-tuple ParentRel, 50,000-tuple ChildRel).
+KEY_SPACE = 10**9
+
+
+class Oid(NamedTuple):
+    """Location-transparent object identifier: (relation id, primary key)."""
+
+    rel: int
+    key: int
+
+    def encode(self) -> int:
+        """Pack into one int, ordered first by relation then by key."""
+        if not 0 <= self.key < KEY_SPACE:
+            raise ValueError("key %d outside the encodable key space" % self.key)
+        if self.rel < 0:
+            raise ValueError("negative relation id %d" % self.rel)
+        return self.rel * KEY_SPACE + self.key
+
+    @classmethod
+    def decode(cls, packed: int) -> "Oid":
+        """Inverse of :meth:`encode`."""
+        if packed < 0:
+            raise ValueError("negative encoded OID %d" % packed)
+        return cls(packed // KEY_SPACE, packed % KEY_SPACE)
+
+    def __str__(self) -> str:
+        return "%d.%d" % (self.rel, self.key)

@@ -1,0 +1,59 @@
+"""Logical query objects of the experimental workload.
+
+Section 4 of the paper: retrieve queries have the form::
+
+    retrieve (ParentRel.children.attr) where val1 <= ParentRel.OID <= val2
+
+with ``attr`` drawn from {ret1, ret2, ret3}; updates modify "a fixed
+number of tuples of ChildRel in place".  These dataclasses are the plan-
+independent descriptions that each strategy turns into page accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+RETRIEVE_ATTRS = ("ret1", "ret2", "ret3")
+
+
+@dataclass(frozen=True)
+class RetrieveQuery:
+    """Names of the members of parents with OID in [lo, hi] — one level of
+    the multiple-dot notation (``group.members.name``)."""
+
+    lo: int
+    hi: int
+    attr: str = "ret1"
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError("empty parent range [%d, %d]" % (self.lo, self.hi))
+        if self.attr not in RETRIEVE_ATTRS:
+            raise ValueError(
+                "attr must be one of %r, got %r" % (RETRIEVE_ATTRS, self.attr)
+            )
+
+    @property
+    def num_top(self) -> int:
+        """How many ParentRel tuples the qualification selects."""
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class UpdateQuery:
+    """In-place modification of ``ret1`` for a fixed set of subobjects.
+
+    ``refs`` are ``(child-relation index, child key)`` pairs.
+    """
+
+    refs: Tuple[Tuple[int, int], ...]
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.refs:
+            raise ValueError("an update must touch at least one subobject")
+
+    @property
+    def size(self) -> int:
+        return len(self.refs)

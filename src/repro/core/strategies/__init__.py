@@ -1,0 +1,53 @@
+"""The query-processing strategies of Figure 2 (plus SMART, Section 5.3).
+
+Importing this package registers every strategy in
+:data:`~repro.core.strategies.base.REGISTRY`:
+
+========== ======= ========== =============================================
+name       caching clustering description
+========== ======= ========== =============================================
+DFS        no      no         per-object random subobject fetches
+BFS        no      no         OID temporary + merge join
+BFSNODUP   no      no         BFS with duplicate elimination
+DFSCACHE   values  no         DFS probing/maintaining the outside cache
+DFSCLUST   no      yes        cluster range scan + random chases
+SMART      values  no         DFSCACHE small, cache-aware BFS large
+========== ======= ========== =============================================
+"""
+
+from repro.core.strategies.base import REGISTRY, Strategy, make_strategy, register
+from repro.core.strategies.bfs import BfsNoDupStrategy, BfsStrategy, TEMP_SCHEMA
+from repro.core.strategies.dfs import DfsStrategy
+from repro.core.strategies.dfscache import DfsCacheStrategy, InsideDfsCacheStrategy
+from repro.core.strategies.dfsclust import DfsClustStrategy
+from repro.core.strategies.procedural import (
+    ProcCacheOidsStrategy,
+    ProcCacheValuesStrategy,
+    ProcExecStrategy,
+    procedure_hashkey,
+)
+from repro.core.strategies.optimizer import OptStrategy, PlanEstimate, pages_touched
+from repro.core.strategies.smart import DEFAULT_SMART_THRESHOLD, SmartStrategy
+
+__all__ = [
+    "REGISTRY",
+    "Strategy",
+    "make_strategy",
+    "register",
+    "BfsNoDupStrategy",
+    "BfsStrategy",
+    "TEMP_SCHEMA",
+    "DfsStrategy",
+    "DfsCacheStrategy",
+    "InsideDfsCacheStrategy",
+    "DfsClustStrategy",
+    "ProcCacheOidsStrategy",
+    "ProcCacheValuesStrategy",
+    "ProcExecStrategy",
+    "procedure_hashkey",
+    "OptStrategy",
+    "PlanEstimate",
+    "pages_touched",
+    "DEFAULT_SMART_THRESHOLD",
+    "SmartStrategy",
+]

@@ -1,0 +1,112 @@
+"""DFSCACHE: depth-first search with an outside value cache.
+
+Section 3.2: for each qualifying parent, "check if the value of the
+subobjects ... is cached.  If so, fetch the attribute from the cache.
+Otherwise, fetch the subobjects from the person relation (this is called
+materialization), cache their values, and return the attribute."
+
+The cache is maintained on the fly (freshly materialised units are
+inserted), which forces a depth-first plan: a merge join would return
+child tuples in OID order, losing unit identity, so "a breadth-first query
+processing strategy in the presence of caching is unviable" — the paper's
+reason DFSCACHE degrades at high NumTop relative to BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.cache import unit_hashkey
+from repro.core.database import ComplexObjectDB
+from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
+from repro.core.queries import RetrieveQuery
+from repro.core.strategies.base import Strategy, register
+
+
+@register
+class DfsCacheStrategy(Strategy):
+    """DFS probing and maintaining the outside unit cache."""
+
+    name = "DFSCACHE"
+    uses_cache = True
+
+    def retrieve(
+        self,
+        db: ComplexObjectDB,
+        query: RetrieveQuery,
+        meter: Optional[CostMeter] = None,
+    ) -> List[Any]:
+        self.check_database(db)
+        meter = meter or NullMeter()
+        cache = db.require_cache()
+        with meter.phase(PARENT_PHASE):
+            parents = list(db.parents_in_range(query.lo, query.hi))
+        results: List[Any] = []
+        with meter.phase(CHILD_PHASE):
+            attr_index = db.child_schema.field_index(query.attr)
+            for parent in parents:
+                rel_index, child_keys = db.unit_ref_of(parent)
+                payload = self._materialize_unit(db, cache, rel_index, child_keys)
+                results.extend(child[attr_index] for child in payload)
+        return results
+
+    @staticmethod
+    def _materialize_unit(db, cache, rel_index, child_keys):
+        """Cached unit payload, materialising and caching on a miss."""
+        hashkey = unit_hashkey(rel_index, child_keys)
+        payload = cache.lookup(hashkey)
+        if payload is None:
+            children = tuple(db.fetch_child(rel_index, key) for key in child_keys)
+            payload_bytes = sum(db.child_record_bytes(c) for c in children)
+            cache.insert(hashkey, rel_index, child_keys, children, payload_bytes)
+            payload = children
+        return payload
+
+
+@register
+class InsideDfsCacheStrategy(Strategy):
+    """DFS with *inside* caching — the A3 ablation baseline.
+
+    The cached value is keyed by the referencing object, so objects
+    sharing a unit each burn a cache slot ([JHIN88] shows, and the
+    ablation confirms, that outside caching dominates whenever units are
+    shared and the cache is bounded).
+    """
+
+    name = "DFSCACHE-INSIDE"
+    uses_cache = True
+
+    def check_database(self, db: ComplexObjectDB) -> None:
+        from repro.errors import QueryError
+
+        if db.inside_cache is None:
+            raise QueryError("DFSCACHE-INSIDE needs an inside-cache-enabled database")
+
+    def retrieve(
+        self,
+        db: ComplexObjectDB,
+        query: RetrieveQuery,
+        meter: Optional[CostMeter] = None,
+    ) -> List[Any]:
+        self.check_database(db)
+        meter = meter or NullMeter()
+        cache = db.inside_cache
+        with meter.phase(PARENT_PHASE):
+            parents = list(db.parents_in_range(query.lo, query.hi))
+        results: List[Any] = []
+        with meter.phase(CHILD_PHASE):
+            attr_index = db.child_schema.field_index(query.attr)
+            for parent in parents:
+                parent_key = db.parent_key_of(parent)
+                rel_index, child_keys = db.unit_ref_of(parent)
+                payload = cache.lookup(parent_key)
+                if payload is None:
+                    payload = tuple(
+                        db.fetch_child(rel_index, key) for key in child_keys
+                    )
+                    payload_bytes = sum(db.child_record_bytes(c) for c in payload)
+                    cache.insert(
+                        parent_key, rel_index, child_keys, payload, payload_bytes
+                    )
+                results.extend(child[attr_index] for child in payload)
+        return results

@@ -1,0 +1,76 @@
+"""DFSCLUST: depth-first search over the clustered representation.
+
+Section 3.3: ParentRel and ChildRel are replaced by ClusterRel; a
+qualifying parent's subobjects are either on the physically adjacent pages
+of its own cluster (free once the cluster is scanned) or in some other
+parent's cluster, reached by one ISAM-index probe plus one random B-tree
+access.
+
+The strategy scans the ``ck`` range covering the qualifying clusters —
+this is the rising ParCost of Figure 5(a): the better the clustering, the
+more co-located subobject tuples inflate the contiguous scan — then
+resolves each parent's ``children`` list against the scanned tuples,
+chasing the misses with random accesses (the ChildCost that falls as
+ShareFactor → 1 and blows up as OverlapFactor grows, Figure 7).
+
+A breadth-first variant is unviable here: ClusterRel is ordered by
+cluster#, not OID, so no merge join on OID is possible (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.database import ComplexObjectDB
+from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
+from repro.core.queries import RetrieveQuery
+from repro.core.strategies.base import Strategy, register
+
+
+@register
+class DfsClustStrategy(Strategy):
+    """Range scan of qualifying clusters + random chase of shared units."""
+
+    name = "DFSCLUST"
+    uses_clustering = True
+
+    def retrieve(
+        self,
+        db: ComplexObjectDB,
+        query: RetrieveQuery,
+        meter: Optional[CostMeter] = None,
+    ) -> List[Any]:
+        self.check_database(db)
+        meter = meter or NullMeter()
+        cluster = db.require_cluster()
+        attr_index = cluster.schema.field_index(query.attr)
+
+        # The scan delivers each parent followed by the subobjects of its
+        # own cluster.  A real depth-first execution resolves a parent's
+        # children while its cluster pages are still hot, so co-located
+        # subobjects are free; everything else — including units whose
+        # home cluster merely happens to fall later in the scanned range —
+        # is chased with a random access the moment it is needed, and only
+        # the buffer pool can make a repeat chase cheap.
+        parents: List[Tuple[Any, ...]] = []
+        home: Dict[int, Dict[int, Tuple[Any, ...]]] = {}
+        with meter.phase(PARENT_PHASE):
+            current_parent_ck: Optional[int] = None
+            for record in cluster.scan_parent_range(query.lo, query.hi):
+                if cluster.is_parent_record(record):
+                    parents.append(record)
+                    current_parent_ck = record[0]
+                    home[current_parent_ck] = {}
+                elif current_parent_ck is not None:
+                    home[current_parent_ck][record[1]] = record
+
+        results: List[Any] = []
+        with meter.phase(CHILD_PHASE):
+            for parent in parents:
+                own = home.get(parent[0], {})
+                for oid in cluster.children_of(parent):
+                    child = own.get(oid.encode())
+                    if child is None:
+                        child = cluster.fetch_subobject(oid.rel - 1, oid.key)
+                    results.append(child[attr_index])
+        return results

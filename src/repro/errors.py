@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageFullError(StorageError):
+    """A record did not fit on the target page."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id referred to a page that does not exist on disk."""
+
+
+class FileNotFoundError_(StorageError):
+    """A file id referred to a file that was never created or was dropped."""
+
+
+class BufferPoolFullError(StorageError):
+    """Every frame in the buffer pool is pinned; nothing can be evicted."""
+
+
+class RecordError(StorageError):
+    """A record did not match its schema (arity, type, or width)."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert would violate a unique-key constraint."""
+
+
+class KeyNotFoundError(StorageError):
+    """A keyed lookup or update referenced a key that is not present."""
+
+
+class CatalogError(ReproError):
+    """Relation-catalog misuse (duplicate names, missing relations...)."""
+
+
+class QueryError(ReproError):
+    """Malformed query or an unsupported execution request."""
+
+
+class RepresentationError(ReproError):
+    """Invalid point in the representation matrix (Figure 1 of the paper)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload parameters (e.g. inconsistent sharing factors)."""

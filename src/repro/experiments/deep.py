@@ -1,0 +1,97 @@
+"""Claim check C1: multi-level exploration and duplicate elimination.
+
+Section 5.1 of the paper: "It is clear that the benefits of BFSNODUP
+will increase with an increase in the number of levels explored.  But
+our experiments have shown that the benefit so obtained is marginal at
+best."  Section 3 notes the queries generalise to transitive closure.
+
+This experiment sweeps query depth over a shared multi-level hierarchy
+(UseFactor 5 at every level, so the number of *paths* grows ~5x faster
+than the number of distinct objects per level) and reports average I/O
+for recursive DFS, iterative BFS, and BFS with per-level duplicate
+elimination.  Expected shape:
+
+* DFS explodes with depth (it re-expands every duplicate path);
+* BFSNODUP's advantage over plain BFS grows with depth — and is small at
+  depth 1, where the paper measured it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.deep import DeepQuery, deep_bfs, deep_dfs
+from repro.core.measure import CostMeter
+from repro.experiments.runner import ExperimentResult
+from repro.util.rng import derive_rng
+from repro.workload.deepgen import DeepParams, build_deep_database
+
+DEPTHS = (1, 2, 3)
+
+
+def default_params(scale: float = 1.0) -> DeepParams:
+    num_roots = max(200, round(20000 * scale))
+    return DeepParams(num_roots=num_roots, depth=max(DEPTHS), use_factor=5)
+
+
+def _run_queries(db, depth, num_roots, span, queries, seed, runner):
+    rng = derive_rng(seed, stream=depth)
+    total = 0
+    for _ in range(queries):
+        lo = rng.randrange(max(1, num_roots - span + 1))
+        query = DeepQuery(lo, lo + span - 1, depth)
+        db.start_measurement(cold=True)
+        meter = CostMeter(db.disk)
+        runner(db, query, meter)
+        total += meter.total_cost
+    return total / queries
+
+
+def run(
+    scale: float = 1.0,
+    num_retrieves: int = 5,
+    span: int = 4,
+    depths: Sequence[int] = DEPTHS,
+    params: Optional[DeepParams] = None,
+) -> ExperimentResult:
+    """One row per query depth: DFS, BFS, BFSNODUP average I/O."""
+    base = params or default_params(scale)
+    db = build_deep_database(base)
+
+    rows: List[List] = []
+    for depth in depths:
+        dfs = _run_queries(
+            db, depth, base.num_roots, span, num_retrieves, base.seed, deep_dfs
+        )
+        bfs = _run_queries(
+            db, depth, base.num_roots, span, num_retrieves, base.seed,
+            lambda d, q, m: deep_bfs(d, q, m, dedup=False),
+        )
+        nodup = _run_queries(
+            db, depth, base.num_roots, span, num_retrieves, base.seed,
+            lambda d, q, m: deep_bfs(d, q, m, dedup=True),
+        )
+        gain = (bfs - nodup) / bfs if bfs else 0.0
+        rows.append(
+            [depth, round(dfs, 1), round(bfs, 1), round(nodup, 1),
+             round(gain, 3)]
+        )
+
+    return ExperimentResult(
+        name="deep",
+        title=(
+            "C1: transitive queries over %d-level hierarchy "
+            "(roots=%d, UseFactor=%d, %d roots per query)"
+            % (base.depth + 1, base.num_roots, base.use_factor, span)
+        ),
+        headers=["depth", "DFS", "BFS", "BFSNODUP", "nodup_gain"],
+        rows=rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(scale=0.2).table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""Figure 5: ParCost/ChildCost/TotCost vs ShareFactor for DFSCLUST and BFS.
+
+Paper setting: NumTop = 200, Pr(UPDATE) -> 1, ShareFactor swept via
+UseFactor with OverlapFactor = 1.  The update-saturated limit is modelled
+with ``cold_retrieves``: an unbounded update stream between retrieves
+leaves no buffer residue (and makes caching useless, which is why the
+paper chose it — DFSCACHE is out of the picture).  Expected shape
+(Figures 5a/5b):
+
+* DFSCLUST: ParCost *increases* as ShareFactor decreases (better
+  clustering inflates the contiguous parent scan with co-located
+  subobjects); ChildCost decreases; the total is dominated by ChildCost;
+* BFS: ParCost flat; ChildCost *decreases* with ShareFactor because
+  |ChildRel| = 50000/ShareFactor shrinks (eqn. 1);
+* the total-cost curves cross (near ShareFactor 4.7 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import DatabaseCache, ExperimentResult, run_point
+from repro.workload.params import WorkloadParams
+
+USE_FACTORS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
+#: NumTop as a fraction of |ParentRel| — 200/10000 in the paper.
+NUM_TOP_FRACTION = 0.02
+
+
+def default_params(scale: float = 1.0) -> WorkloadParams:
+    return WorkloadParams(overlap_factor=1, pr_update=0.0).scaled(scale)
+
+
+def run(
+    scale: float = 1.0,
+    num_retrieves: Optional[int] = None,
+    use_factors: Sequence[int] = USE_FACTORS,
+    params: Optional[WorkloadParams] = None,
+) -> ExperimentResult:
+    """One row per ShareFactor with both strategies' cost breakdown."""
+    base = params or default_params(scale)
+    num_top = max(1, round(base.num_parents * NUM_TOP_FRACTION))
+    db_cache = DatabaseCache()
+
+    rows: List[List] = []
+    for use_factor in use_factors:
+        point = base.replace(use_factor=use_factor, num_top=num_top)
+        row: List = [point.share_factor]
+        for name in ("DFSCLUST", "BFS"):
+            report = run_point(
+                point, name, db_cache, num_retrieves=num_retrieves,
+                cold_retrieves=True,
+            )
+            row.extend(
+                [
+                    round(report.par_cost_per_retrieve, 1),
+                    round(report.child_cost_per_retrieve, 1),
+                    round(report.avg_io_per_retrieve, 1),
+                ]
+            )
+        rows.append(row)
+
+    return ExperimentResult(
+        name="fig5",
+        title=(
+            "Figure 5: cost breakdown vs ShareFactor at NumTop=%d "
+            "(|ParentRel|=%d)" % (num_top, base.num_parents)
+        ),
+        headers=[
+            "ShareFactor",
+            "clust_ParCost",
+            "clust_ChildCost",
+            "clust_TotCost",
+            "bfs_ParCost",
+            "bfs_ChildCost",
+            "bfs_TotCost",
+        ],
+        rows=rows,
+    )
+
+
+def crossover_share_factor(result: ExperimentResult) -> Optional[int]:
+    """Smallest ShareFactor at which BFS's total beats DFSCLUST's."""
+    for row in result.rows:
+        share, clust_total, bfs_total = row[0], row[3], row[6]
+        if bfs_total < clust_total:
+            return share
+    return None
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run(scale=0.2)
+    print(result.table())
+    print("BFS overtakes DFSCLUST at ShareFactor:", crossover_share_factor(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

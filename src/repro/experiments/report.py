@@ -1,0 +1,108 @@
+"""Run every reproduction experiment and emit the result tables.
+
+Usage::
+
+    python -m repro.experiments.report [--scale S] [--out DIR]
+
+Writes one plain-text table per figure/section under ``DIR`` (default
+``results/``) and prints everything to stdout.  EXPERIMENTS.md records a
+run of this module next to the paper's reported shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments import ablations, deep, fig3, fig4, fig5, fig7, matrix, opt, sec62, smart
+from repro.experiments.runner import ExperimentResult
+
+
+def experiment_suite(scale: float) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
+    """The full reproduction, one callable per figure/table."""
+    return [
+        ("fig3", lambda: fig3.run(scale=scale)),
+        ("fig4", lambda: fig4.run(scale=min(scale, 0.3))),
+        ("fig5", lambda: fig5.run(scale=scale, num_retrieves=8)),
+        ("fig7", lambda: fig7.run(scale=scale, num_retrieves=8)),
+        ("sec62", lambda: sec62.run(scale=max(scale, 0.2))),
+        ("smart", lambda: smart.run(scale=scale)),
+        ("ablation_cache_size", lambda: ablations.run_cache_size(scale=scale)),
+        ("ablation_buffer", lambda: ablations.run_buffer_size(scale=scale)),
+        (
+            "ablation_inside_outside",
+            lambda: ablations.run_inside_outside(scale=scale),
+        ),
+        ("deep", lambda: deep.run(scale=scale, span=12)),
+        ("matrix", lambda: matrix.run(scale=min(scale, 0.4))),
+        ("opt", lambda: opt.run(scale=min(scale, 0.3))),
+        (
+            "ablation_buffer_policy",
+            lambda: ablations.run_buffer_policy(scale=scale),
+        ),
+    ]
+
+
+def annotate(name: str, result: ExperimentResult) -> str:
+    """Append the derived headline numbers an analyst would want."""
+    text = result.table()
+    if name == "fig3":
+        text += "\nBFS overtakes DFS at NumTop ~ %r" % fig3.crossover_num_top(result)
+    elif name == "fig4":
+        text += "\nregion sizes: %r" % fig4.region_counts(result)
+        for face, counts in fig4.face_summary(result).items():
+            text += "\n%-22s %r" % (face, counts)
+    elif name == "fig5":
+        text += "\nBFS overtakes DFSCLUST at ShareFactor %r" % (
+            fig5.crossover_share_factor(result),
+        )
+    elif name == "opt":
+        text += "\nmax regret: %.3f" % opt.max_regret(result)
+    elif name == "sec62":
+        spreads = {
+            s: round(sec62.max_relative_spread(result, s), 3)
+            for s in sec62.STRATEGIES
+        }
+        text += "\nrelative spreads: %r" % (spreads,)
+    return text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="database scale relative to the paper's 10,000 parents",
+    )
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiment names to run",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
+    t_start = time.time()
+    for name, run in experiment_suite(args.scale):
+        if args.only and name not in args.only:
+            continue
+        t0 = time.time()
+        result = run()
+        text = annotate(name, result)
+        text += "\n[%s: %.1fs at scale %.2f]" % (name, time.time() - t0, args.scale)
+        print(text)
+        print()
+        with open(os.path.join(args.out, "%s.txt" % name), "w") as handle:
+            handle.write(text + "\n")
+    print("total: %.1fs" % (time.time() - t_start))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Shared experiment machinery.
+
+Every experiment module (one per paper figure/table) follows the same
+recipe: build databases over a parameter sweep, run each strategy on a
+random query sequence, and tabulate the average I/O per retrieve.  This
+module centralises:
+
+* :class:`ExperimentResult` — rows + rendered table, so benchmarks and
+  the CLI print exactly the series the paper plots;
+* :func:`adaptive_queries` — fewer queries for huge-NumTop points (their
+  per-query variance is tiny and their per-query cost is large), keeping
+  pure-Python sweeps tractable without biasing averages;
+* :func:`run_point` — build/reuse a database, run one strategy, return
+  its report.
+
+Databases are cached per shape (the parameters that affect the stored
+bytes), because a sweep over NumTop or Pr(UPDATE) can reuse one database;
+updates only rewrite integer fields in place, and the driver resets the
+cache, buffer pool and counters between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.strategies.base import make_strategy
+from repro.util.fmt import format_table
+from repro.workload.driver import CostReport, run_sequence
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+from repro.workload.queries import generate_sequence
+
+#: Target total I/O-bearing work per measured point, used to shrink the
+#: number of queries at large NumTop.
+_QUERY_BUDGET = 4000
+
+
+@dataclass
+class ExperimentResult:
+    """Tabulated outcome of one experiment."""
+
+    name: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join("note: %s" % n for n in self.notes)
+        return text
+
+    def column(self, header: str) -> List[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def to_csv(self) -> str:
+        """The rows as CSV text (headers first), for external plotting."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def adaptive_queries(num_top: int, requested: Optional[int] = None) -> int:
+    """Number of retrieves to run for a NumTop point.
+
+    The paper ran 1000 retrieves per sequence on real hardware; in pure
+    Python a NumTop=10,000 retrieve touches every parent page, so running
+    1000 of them buys nothing but time.  Cost variance shrinks with
+    NumTop (more pages per query -> relatively less placement noise), so
+    the sample size can shrink proportionally.
+    """
+    if requested is not None:
+        return requested
+    return max(5, min(200, _QUERY_BUDGET // max(1, num_top)))
+
+
+class DatabaseCache:
+    """Reuses built databases across sweep points with the same shape."""
+
+    #: Parameters that change the stored data (anything else can vary
+    #: between runs against one database).
+    SHAPE_FIELDS = (
+        "num_parents",
+        "size_unit",
+        "use_factor",
+        "overlap_factor",
+        "num_child_rels",
+        "size_cache",
+        "buffer_pages",
+        "page_size",
+        "buffer_policy",
+        "parent_bytes",
+        "child_bytes",
+        "seed",
+    )
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple, Any] = {}
+
+    def shape_key(self, params: WorkloadParams, clustering: bool, cache: bool) -> Tuple:
+        values = tuple(getattr(params, name) for name in self.SHAPE_FIELDS)
+        return values + (clustering, cache)
+
+    def get(self, params: WorkloadParams, clustering: bool = False, cache: bool = False):
+        key = self.shape_key(params, clustering, cache)
+        db = self._cache.get(key)
+        if db is None:
+            db = build_database(params, clustering=clustering, cache=cache)
+            self._cache[key] = db
+        return db
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+def run_point(
+    params: WorkloadParams,
+    strategy_name: str,
+    db_cache: Optional[DatabaseCache] = None,
+    num_retrieves: Optional[int] = None,
+    sequence=None,
+    cold_retrieves: bool = False,
+    warmup_fraction: float = 0.0,
+    **strategy_kwargs: Any,
+) -> CostReport:
+    """Measure one (parameter point, strategy) cell of a sweep.
+
+    ``warmup_fraction`` runs that leading share of the sequence
+    unmeasured (steady-state approximation for short sequences).
+    """
+    strategy = make_strategy(strategy_name, **strategy_kwargs)
+    if db_cache is None:
+        db_cache = DatabaseCache()
+    db = db_cache.get(
+        params,
+        clustering=strategy.uses_clustering,
+        cache=strategy.uses_cache and strategy_name != "DFSCACHE-INSIDE",
+    )
+    if strategy_name == "DFSCACHE-INSIDE" and db.inside_cache is None:
+        db.enable_inside_cache(
+            params.size_cache, unit_bytes_hint=params.size_unit * params.child_bytes
+        )
+    if sequence is None:
+        sequence = generate_sequence(
+            params,
+            db,
+            num_retrieves=adaptive_queries(params.num_top, num_retrieves),
+        )
+    warmup = int(len(sequence) * warmup_fraction)
+    return run_sequence(
+        db, strategy, sequence, cold_retrieves=cold_retrieves, warmup=warmup
+    )
+
+
+def scaled_num_tops(params: WorkloadParams, fractions: Sequence[float]) -> List[int]:
+    """NumTop values as fractions of the parent cardinality, deduplicated."""
+    values = []
+    for fraction in fractions:
+        value = max(1, min(params.num_parents, round(params.num_parents * fraction)))
+        if value not in values:
+            values.append(value)
+    return values

@@ -1,0 +1,28 @@
+"""Relational query-processing operators.
+
+The strategies of Section 3 are assembled from these pieces:
+
+* :mod:`repro.query.expr` — predicates over schema records;
+* :mod:`repro.query.temp` — temporary relations (the ``temp`` of the
+  breadth-first strategies);
+* :mod:`repro.query.sort` — external merge sort with real run files;
+* :mod:`repro.query.join` — merge(-probe) join and iterative substitution
+  (nested-loop) join against B-tree inners.
+"""
+
+from repro.query.expr import AndPredicate, FieldBetween, FieldEquals, Predicate
+from repro.query.join import iterative_substitution_join, merge_probe_join
+from repro.query.sort import external_sort
+from repro.query.temp import TempRelation, make_temp
+
+__all__ = [
+    "AndPredicate",
+    "FieldBetween",
+    "FieldEquals",
+    "Predicate",
+    "iterative_substitution_join",
+    "merge_probe_join",
+    "external_sort",
+    "TempRelation",
+    "make_temp",
+]

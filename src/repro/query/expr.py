@@ -1,0 +1,80 @@
+"""Predicates over schema records.
+
+A tiny, explicit predicate algebra — enough to express the paper's
+qualifications (``val1 <= ParentRel.OID <= val2``, ``group.name =
+"elders"``) without a full expression compiler.  Every predicate is bound
+to a :class:`~repro.storage.record.Schema` and callable on records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.storage.record import Schema
+
+
+class Predicate:
+    """Base predicate: callable record -> bool."""
+
+    def __call__(self, record: Tuple[Any, ...]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "AndPredicate":
+        return AndPredicate([self, other])
+
+
+class TruePredicate(Predicate):
+    """Matches everything (the unqualified scan)."""
+
+    def __call__(self, record: Tuple[Any, ...]) -> bool:
+        return True
+
+
+class FieldEquals(Predicate):
+    """``record.field == value``."""
+
+    def __init__(self, schema: Schema, field: str, value: Any) -> None:
+        self._index = schema.field_index(field)
+        self.field = field
+        self.value = value
+
+    def __call__(self, record: Tuple[Any, ...]) -> bool:
+        return record[self._index] == self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "FieldEquals(%s == %r)" % (self.field, self.value)
+
+
+class FieldBetween(Predicate):
+    """``lo <= record.field <= hi`` (inclusive range, as in the workload)."""
+
+    def __init__(self, schema: Schema, field: str, lo: Any, hi: Any) -> None:
+        if lo is not None and hi is not None and lo > hi:
+            raise ValueError("empty range: lo=%r > hi=%r" % (lo, hi))
+        self._index = schema.field_index(field)
+        self.field = field
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self, record: Tuple[Any, ...]) -> bool:
+        value = record[self._index]
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "FieldBetween(%r <= %s <= %r)" % (self.lo, self.field, self.hi)
+
+
+class AndPredicate(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        if not parts:
+            raise ValueError("AndPredicate needs at least one part")
+        self.parts = list(parts)
+
+    def __call__(self, record: Tuple[Any, ...]) -> bool:
+        return all(part(record) for part in self.parts)

@@ -1,0 +1,517 @@
+"""B+tree files.
+
+ParentRel and ChildRel are "structured as B-trees on OID" and ClusterRel
+as a B-tree on cluster# (Section 4 of the paper).  This module implements a
+page-based B+tree with:
+
+* data records on leaf pages, in key order, chained left-to-right;
+* internal pages of ``(separator_key, child_page_no)`` entries;
+* bulk loading from sorted input (the paper's relations are static — "in
+  our environment there are no insertions or deletions");
+* dynamic insert with leaf/internal splits, so the structure is also a
+  complete general-purpose access method (exercised by tests and by the
+  examples, not by the reproduction workload);
+* in-place updates of equal-size records (the paper's update queries);
+* a :class:`BTreeCursor` supporting the sorted-probe pattern that makes
+  the breadth-first strategies' merge join efficient: probing keys in
+  ascending order touches each qualifying leaf page once.
+
+Node "header" fields (is-leaf flag, next-leaf pointer, key count) live in a
+sidecar dict rather than on the page records; in a real engine they occupy
+the page header, which :data:`repro.storage.page.PAGE_HEADER_BYTES` already
+charges for.  Internal entries are charged ``INDEX_ENTRY_BYTES`` each, so
+index fan-out — and therefore how many index pages compete for buffer
+space — is realistic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page, PageId
+from repro.storage.record import Schema
+
+#: Bytes per internal-node entry (key + child pointer).
+INDEX_ENTRY_BYTES = 12
+
+KeyFunc = Callable[[Tuple[Any, ...]], Any]
+
+
+@dataclass
+class _NodeMeta:
+    """Sidecar header for one node page."""
+
+    is_leaf: bool
+    next_leaf: Optional[int] = None  # page_no of the right sibling (leaves)
+
+
+class BTreeCursor:
+    """Forward cursor over leaf records, ordered by key.
+
+    ``seek(key)`` positions at the first record with key >= ``key``.  When
+    the target is on the current or the immediately following leaf the
+    cursor advances sequentially (no index descent); otherwise it descends
+    from the root.  This is exactly the access pattern of a merge join
+    whose outer is sorted.
+    """
+
+    def __init__(self, tree: "BTreeFile") -> None:
+        self.tree = tree
+        self._page_no: Optional[int] = None
+        self._slot = 0
+
+    def seek(self, key: Any) -> None:
+        """Position at the first record with key >= ``key``.
+
+        If the target is on the already-resident current leaf, only that
+        (buffered) page is touched; otherwise a root-to-leaf descent reads
+        exactly the target leaf plus the (hot) index pages above it.
+        Peeking at sibling leaves to avoid a descent would *cost* a page
+        read, not save one, so it is never done.
+        """
+        if self._page_no is not None:
+            page = self.tree._fetch(self._page_no)
+            keys = self.tree._leaf_keys(page)
+            if keys and keys[0] <= key <= keys[-1]:
+                self._slot = bisect.bisect_left(keys, key)
+                return
+        page_no, slot = self.tree._find_leaf_slot(key)
+        self._page_no, self._slot = page_no, slot
+        self._skip_to_valid()
+
+    def current(self) -> Optional[Tuple[Any, ...]]:
+        """Record under the cursor, or None when exhausted."""
+        if self._page_no is None:
+            return None
+        page = self.tree._fetch(self._page_no)
+        if self._slot >= len(page):
+            return None
+        return page.get(self._slot)
+
+    def advance(self) -> None:
+        """Move to the next record in key order."""
+        if self._page_no is None:
+            return
+        self._slot += 1
+        self._skip_to_valid()
+
+    def _skip_to_valid(self) -> None:
+        while self._page_no is not None:
+            page = self.tree._fetch(self._page_no)
+            if self._slot < len(page):
+                return
+            self._page_no = self.tree._meta[self._page_no].next_leaf
+            self._slot = 0
+
+
+class BTreeFile:
+    """A keyed relation stored as a B+tree.
+
+    ``key_name`` selects the schema field used as the key.  Keys must be
+    unique unless ``unique=False``.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        schema: Schema,
+        key_name: str,
+        name: str = "btree",
+        unique: bool = True,
+    ) -> None:
+        self.pool = pool
+        self.schema = schema
+        self.key_name = key_name
+        self._key_index = schema.field_index(key_name)
+        self.name = name
+        self.unique = unique
+        self.file_id = pool.disk.create_file(name)
+        self._meta: Dict[int, _NodeMeta] = {}
+        self._root: Optional[int] = None
+        self._first_leaf: Optional[int] = None
+        self._num_records = 0
+        self.height = 0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.num_pages(self.file_id)
+
+    @property
+    def num_leaf_pages(self) -> int:
+        return sum(1 for m in self._meta.values() if m.is_leaf)
+
+    def _key(self, record: Tuple[Any, ...]) -> Any:
+        return record[self._key_index]
+
+    def key_of(self, record: Tuple[Any, ...]) -> Any:
+        """The key value of ``record`` under this tree's key field."""
+        return record[self._key_index]
+
+    # ------------------------------------------------------------------
+    # bulk load
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self, records: List[Tuple[Any, ...]], fill_factor: float = 1.0
+    ) -> None:
+        """Build the tree from ``records`` sorted ascending by key.
+
+        ``fill_factor`` limits how full each leaf is packed (1.0 packs to
+        capacity, reproducing the paper's tuple-per-page densities for the
+        freshly loaded, static relations).
+        """
+        if self._root is not None or self.num_pages:
+            raise StorageError("bulk_load on non-empty btree %r" % self.name)
+        if not 0.1 <= fill_factor <= 1.0:
+            raise ValueError("fill_factor must be in [0.1, 1.0]")
+        keys = [self._key(r) for r in records]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise StorageError("bulk_load input must be sorted by %r" % self.key_name)
+        if self.unique and len(set(keys)) != len(keys):
+            raise DuplicateKeyError("bulk_load input has duplicate keys")
+
+        # --- leaves -----------------------------------------------------
+        leaf_nos: List[int] = []
+        leaf_first_keys: List[Any] = []
+        page: Optional[Page] = None
+        budget = 0.0
+        for record in records:
+            self.schema.validate(record)
+            size = self.schema.record_size(record)
+            if page is not None:
+                limit = (page.capacity - page.used_bytes) - (
+                    page.capacity * (1.0 - fill_factor)
+                )
+                if size + 2 > limit:
+                    page = None
+            if page is None:
+                page = self.pool.new_page(self.file_id)
+                no = page.page_id.page_no
+                self._meta[no] = _NodeMeta(is_leaf=True)
+                if leaf_nos:
+                    self._meta[leaf_nos[-1]].next_leaf = no
+                leaf_nos.append(no)
+                leaf_first_keys.append(self._key(record))
+            page.insert(record, size)
+            self._num_records += 1
+
+        if not leaf_nos:  # empty tree: single empty leaf as root
+            page = self.pool.new_page(self.file_id)
+            no = page.page_id.page_no
+            self._meta[no] = _NodeMeta(is_leaf=True)
+            leaf_nos = [no]
+            leaf_first_keys = [None]
+
+        self._first_leaf = leaf_nos[0]
+
+        # --- internal levels, bottom-up ----------------------------------
+        level_nos = leaf_nos
+        level_keys = leaf_first_keys
+        self.height = 1
+        while len(level_nos) > 1:
+            parent_nos: List[int] = []
+            parent_keys: List[Any] = []
+            page = None
+            for child_no, child_key in zip(level_nos, level_keys):
+                if page is None or not page.fits(INDEX_ENTRY_BYTES):
+                    page = self.pool.new_page(self.file_id)
+                    no = page.page_id.page_no
+                    self._meta[no] = _NodeMeta(is_leaf=False)
+                    parent_nos.append(no)
+                    parent_keys.append(child_key)
+                page.insert((child_key, child_no), INDEX_ENTRY_BYTES)
+            level_nos = parent_nos
+            level_keys = parent_keys
+            self.height += 1
+        self._root = level_nos[0]
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    def _fetch(self, page_no: int) -> Page:
+        return self.pool.fetch(PageId(self.file_id, page_no))
+
+    def _leaf_keys(self, page: Page) -> List[Any]:
+        return [self._key(r) for r in page.records]
+
+    def _descend(self, key: Any) -> List[int]:
+        """Return the page-number path from root to the leaf for ``key``."""
+        if self._root is None:
+            raise KeyNotFoundError("btree %r is empty" % self.name)
+        path = [self._root]
+        node = self._root
+        while not self._meta[node].is_leaf:
+            page = self._fetch(node)
+            seps = [entry[0] for entry in page.records]
+            # Child i covers keys in [seps[i], seps[i+1]).
+            idx = bisect.bisect_right(seps, key) - 1
+            if idx < 0:
+                idx = 0
+            node = page.get(idx)[1]
+            path.append(node)
+        return path
+
+    def _find_leaf_slot(self, key: Any) -> Tuple[Optional[int], int]:
+        """Leaf page and slot of the first record with key >= ``key``."""
+        if self._root is None:
+            return None, 0
+        leaf_no = self._descend(key)[-1]
+        page = self._fetch(leaf_no)
+        slot = bisect.bisect_left(self._leaf_keys(page), key)
+        return leaf_no, slot
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def lookup(self, key: Any) -> List[Tuple[Any, ...]]:
+        """All records with exactly ``key`` (one element when unique)."""
+        if self._root is None:
+            return []
+        out: List[Tuple[Any, ...]] = []
+        cursor = BTreeCursor(self)
+        cursor.seek(key)
+        record = cursor.current()
+        while record is not None and self._key(record) == key:
+            out.append(record)
+            cursor.advance()
+            record = cursor.current()
+        return out
+
+    def lookup_one(self, key: Any) -> Tuple[Any, ...]:
+        """The unique record with ``key``; raises KeyNotFoundError."""
+        records = self.lookup(key)
+        if not records:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        return records[0]
+
+    def contains(self, key: Any) -> bool:
+        return bool(self.lookup(key))
+
+    def range_scan(
+        self, lo: Any = None, hi: Any = None, include_hi: bool = True
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Records with lo <= key <= hi (or < hi), in key order.
+
+        ``None`` bounds are open; ``range_scan()`` is a full ordered scan.
+        """
+        if self._root is None:
+            return
+        if lo is None:
+            page_no: Optional[int] = self._first_leaf
+            slot = 0
+        else:
+            page_no, slot = self._find_leaf_slot(lo)
+        while page_no is not None:
+            page = self._fetch(page_no)
+            while slot < len(page):
+                record = page.get(slot)
+                key = self._key(record)
+                if hi is not None:
+                    if include_hi and key > hi:
+                        return
+                    if not include_hi and key >= hi:
+                        return
+                yield record
+                slot += 1
+            page_no = self._meta[page_no].next_leaf
+            slot = 0
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        """Full scan in key order."""
+        return self.range_scan()
+
+    def cursor(self) -> BTreeCursor:
+        return BTreeCursor(self)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, record: Tuple[Any, ...]) -> None:
+        """Insert one record, splitting nodes as needed."""
+        self.schema.validate(record)
+        key = self._key(record)
+        size = self.schema.record_size(record)
+        if self._root is None:
+            page = self.pool.new_page(self.file_id)
+            no = page.page_id.page_no
+            self._meta[no] = _NodeMeta(is_leaf=True)
+            page.insert(record, size)
+            self._root = no
+            self._first_leaf = no
+            self.height = 1
+            self._num_records += 1
+            return
+
+        path = self._descend(key)
+        leaf_no = path[-1]
+        page = self._fetch(leaf_no)
+        keys = self._leaf_keys(page)
+        slot = bisect.bisect_left(keys, key)
+        if self.unique and slot < len(keys) and keys[slot] == key:
+            raise DuplicateKeyError(
+                "duplicate key %r in unique btree %r" % (key, self.name)
+            )
+        if page.fits(size):
+            page.insert_at(slot, record, size)
+            self.pool.mark_dirty(page.page_id)
+        else:
+            self._split_leaf(path, record, size, slot)
+        self._num_records += 1
+
+    def _split_leaf(
+        self, path: List[int], record: Tuple[Any, ...], size: int, slot: int
+    ) -> None:
+        leaf_no = path[-1]
+        page = self._fetch(leaf_no)
+        records = page.pop_all()
+        records.insert(slot, record)
+        mid = len(records) // 2
+        left, right = records[:mid], records[mid:]
+        right_page = self.pool.new_page(self.file_id)
+        right_no = right_page.page_id.page_no
+        self._meta[right_no] = _NodeMeta(
+            is_leaf=True, next_leaf=self._meta[leaf_no].next_leaf
+        )
+        self._meta[leaf_no].next_leaf = right_no
+        for r in left:
+            page.insert(r, self.schema.record_size(r))
+        for r in right:
+            right_page.insert(r, self.schema.record_size(r))
+        self.pool.mark_dirty(page.page_id)
+        sep = self._key(right[0])
+        self._insert_separator(path[:-1], sep, right_no)
+
+    def _insert_separator(self, path: List[int], sep: Any, child_no: int) -> None:
+        if not path:  # splitting the root: grow a level
+            new_root = self.pool.new_page(self.file_id)
+            no = new_root.page_id.page_no
+            self._meta[no] = _NodeMeta(is_leaf=False)
+            old_root = self._root
+            assert old_root is not None
+            old_first = self._lowest_key(old_root)
+            new_root.insert((old_first, old_root), INDEX_ENTRY_BYTES)
+            new_root.insert((sep, child_no), INDEX_ENTRY_BYTES)
+            self._root = no
+            self.height += 1
+            return
+        node_no = path[-1]
+        page = self._fetch(node_no)
+        seps = [entry[0] for entry in page.records]
+        slot = bisect.bisect_right(seps, sep)
+        if page.fits(INDEX_ENTRY_BYTES):
+            page.insert_at(slot, (sep, child_no), INDEX_ENTRY_BYTES)
+            self.pool.mark_dirty(page.page_id)
+            return
+        entries = page.pop_all()
+        entries.insert(slot, (sep, child_no))
+        mid = len(entries) // 2
+        left, right = entries[:mid], entries[mid:]
+        right_page = self.pool.new_page(self.file_id)
+        right_no = right_page.page_id.page_no
+        self._meta[right_no] = _NodeMeta(is_leaf=False)
+        for e in left:
+            page.insert(e, INDEX_ENTRY_BYTES)
+        for e in right:
+            right_page.insert(e, INDEX_ENTRY_BYTES)
+        self.pool.mark_dirty(page.page_id)
+        self._insert_separator(path[:-1], right[0][0], right_no)
+
+    def _lowest_key(self, node_no: int) -> Any:
+        while not self._meta[node_no].is_leaf:
+            node_no = self._fetch(node_no).get(0)[1]
+        page = self._fetch(node_no)
+        return self._key(page.get(0)) if len(page) else None
+
+    def update(self, key: Any, new_record: Tuple[Any, ...]) -> None:
+        """Replace the record with ``key`` in place.
+
+        The new record must carry the same key; size changes are allowed
+        as long as the page can absorb them (the reproduction workload
+        only rewrites fixed-size integer fields).
+        """
+        self.schema.validate(new_record)
+        if self._key(new_record) != key:
+            raise StorageError("update must preserve the key")
+        page_no, slot = self._find_leaf_slot(key)
+        if page_no is None:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        page = self._fetch(page_no)
+        keys = self._leaf_keys(page)
+        if slot >= len(keys) or keys[slot] != key:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        page.replace(slot, new_record, self.schema.record_size(new_record))
+        self.pool.mark_dirty(page.page_id)
+
+    def update_field(self, key: Any, field_name: str, value: Any) -> Tuple[Any, ...]:
+        """Set one field of the record with ``key``; return the new record."""
+        record = self.lookup_one(key)
+        new_record = self.schema.replaced(record, field_name, value)
+        self.update(key, new_record)
+        return new_record
+
+    def delete(self, key: Any) -> Tuple[Any, ...]:
+        """Remove and return the (first) record with ``key``.
+
+        Lazy deletion: the leaf may become underfull or even empty, but is
+        never merged — the common practice in production B-trees, and the
+        structure remains correct (empty leaves are skipped by scans and
+        cursors).  Reinsertion reuses the free space.
+        """
+        page_no, slot = self._find_leaf_slot(key)
+        if page_no is None:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        page = self._fetch(page_no)
+        keys = self._leaf_keys(page)
+        if slot >= len(keys) or keys[slot] != key:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        record = page.delete(slot)
+        self.pool.mark_dirty(page.page_id)
+        self._num_records -= 1
+        return record
+
+    def delete_if_present(self, key: Any) -> bool:
+        """Delete ``key`` if present; return whether a record was removed."""
+        try:
+            self.delete(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    # invariants (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify ordering and chain structure without charging I/O."""
+        if self._root is None:
+            return
+        disk = self.pool.disk
+        # Leaf chain covers all records in nondecreasing key order.
+        seen = 0
+        last_key = None
+        node: Optional[int] = self._first_leaf
+        while node is not None:
+            page = disk.peek_page(PageId(self.file_id, node))
+            for record in page:
+                key = self._key(record)
+                if last_key is not None:
+                    if self.unique and not last_key < key:
+                        raise AssertionError("leaf chain key order violated")
+                    if not self.unique and not last_key <= key:
+                        raise AssertionError("leaf chain key order violated")
+                last_key = key
+                seen += 1
+            node = self._meta[node].next_leaf
+        if seen != self._num_records:
+            raise AssertionError(
+                "leaf chain has %d records, expected %d" % (seen, self._num_records)
+            )

@@ -1,0 +1,280 @@
+"""LRU buffer pool.
+
+All access methods go through the buffer pool; only its misses and
+write-backs reach the :class:`~repro.storage.disk.DiskManager` and are
+counted as I/O.  The paper used a main-memory buffer of 100 INGRES data
+pages, which is the default here (see
+:data:`repro.workload.params.WorkloadParams.buffer_pages`).
+
+The pool is a straightforward pin-count LRU:
+
+* :meth:`fetch` returns a frame's page, moving it to the MRU end;
+* a miss evicts the least recently used *unpinned* frame, writing it back
+  first if dirty (one write);
+* :meth:`new_page` installs a freshly allocated page as a dirty frame
+  without a read — appending to a temporary relation costs only the
+  eventual write-back, as in a real engine;
+* :meth:`flush_all` force-writes dirty frames (the driver calls it between
+  measured queries only when a strategy semantically requires it; normally
+  dirty pages age out naturally, which matches how the paper's update
+  costs behave).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import BufferPoolFullError
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page, PageId
+
+DEFAULT_BUFFER_PAGES = 100
+
+
+@dataclass
+class _Frame:
+    page: Page
+    dirty: bool = False
+    pins: int = 0
+
+
+class BufferStats:
+    """Hit/miss/eviction counters for the pool."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "BufferStats(hits=%d, misses=%d, evictions=%d)" % (
+            self.hits,
+            self.misses,
+            self.evictions,
+        )
+
+
+class BufferPool:
+    """Fixed-capacity page cache with pin counts.
+
+    ``policy`` selects the replacement victim among unpinned frames:
+
+    * ``"lru"``   — least recently used (the default; INGRES-era engines
+      were LRU-ish and the paper's numbers assume recency locality);
+    * ``"clock"`` — second-chance clock, provided for the replacement-
+      policy ablation (the reproduction's conclusions should not hinge
+      on the exact policy).
+    """
+
+    POLICIES = ("lru", "clock")
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_BUFFER_PAGES,
+        policy: str = "lru",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive, got %d" % capacity)
+        if policy not in self.POLICIES:
+            raise ValueError(
+                "unknown replacement policy %r (choose from %r)"
+                % (policy, self.POLICIES)
+            )
+        self.disk = disk
+        self.capacity = capacity
+        self.policy = policy
+        self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
+        self._referenced: Dict[PageId, bool] = {}
+        self._clock_ring: list = []
+        self._clock_hand = 0
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def fetch(self, page_id: PageId, pin: bool = False) -> Page:
+        """Return the page for ``page_id``, reading it on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._touch(page_id)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            frame = _Frame(self.disk.read_page(page_id))
+            self._install(page_id, frame)
+        if pin:
+            frame.pins += 1
+        return frame.page
+
+    def new_page(self, file_id: int, pin: bool = False) -> Page:
+        """Allocate a fresh page and install it dirty (no read charged)."""
+        self._make_room()
+        page = self.disk.allocate_page(file_id)
+        frame = _Frame(page, dirty=True)
+        if pin:
+            frame.pins += 1
+        self._install(page.page_id, frame)
+        return page
+
+    def mark_dirty(self, page_id: PageId) -> None:
+        """Record that a buffered page was modified.
+
+        The page must be resident; modifying an unbuffered page is a
+        protocol violation that would silently lose the write-back charge.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise KeyError("mark_dirty on non-resident page %s" % (page_id,))
+        frame.dirty = True
+
+    def unpin(self, page_id: PageId) -> None:
+        """Release one pin on a resident page."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise KeyError("unpin on non-resident page %s" % (page_id,))
+        if frame.pins <= 0:
+            raise ValueError("unpin without pin on %s" % (page_id,))
+        frame.pins -= 1
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush_page(self, page_id: PageId) -> None:
+        """Write back one page if dirty (keeps it resident)."""
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self.disk.write_page(frame.page)
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (keeps them resident)."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self.disk.write_page(frame.page)
+                frame.dirty = False
+
+    def invalidate_file(self, file_id: int, flush: bool = False) -> None:
+        """Drop every frame belonging to ``file_id``.
+
+        Used when a temporary relation is destroyed: its dirty pages are
+        discarded *without* write-back unless ``flush`` is requested,
+        matching the free disposal of scratch data.
+        """
+        victims = [pid for pid in self._frames if pid.file_id == file_id]
+        for pid in victims:
+            frame = self._frames.pop(pid)
+            self._referenced.pop(pid, None)
+            if flush and frame.dirty:
+                self.disk.write_page(frame.page)
+
+    def clear(self, flush: bool = True) -> None:
+        """Empty the pool (cold cache), optionally flushing dirty frames."""
+        if flush:
+            self.flush_all()
+        self._frames.clear()
+        self._referenced.clear()
+        self._clock_ring = []
+        self._clock_hand = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def is_resident(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    def is_dirty(self, page_id: PageId) -> bool:
+        frame = self._frames.get(page_id)
+        return frame is not None and frame.dirty
+
+    def resident_pages(self) -> Iterator[PageId]:
+        return iter(list(self._frames.keys()))
+
+    def pinned_count(self) -> int:
+        return sum(1 for f in self._frames.values() if f.pins > 0)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _install(self, page_id: PageId, frame: _Frame) -> None:
+        self._frames[page_id] = frame
+        if self.policy == "clock":
+            self._referenced[page_id] = True
+            self._clock_ring.append(page_id)
+
+    def _touch(self, page_id: PageId) -> None:
+        if self.policy == "lru":
+            self._frames.move_to_end(page_id)
+        else:
+            self._referenced[page_id] = True
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        if self.policy == "lru":
+            self._evict_lru()
+        else:
+            self._evict_clock()
+
+    def _evict_lru(self) -> None:
+        for page_id, frame in self._frames.items():  # LRU -> MRU order
+            if frame.pins == 0:
+                self._evict(page_id, frame)
+                return
+        raise BufferPoolFullError(
+            "all %d frames pinned; cannot evict" % len(self._frames)
+        )
+
+    def _evict_clock(self) -> None:
+        # Second-chance sweep: clear reference bits until an unreferenced,
+        # unpinned frame comes under the hand.
+        self._clock_ring = [p for p in self._clock_ring if p in self._frames]
+        if not self._clock_ring:
+            raise BufferPoolFullError("clock ring empty; cannot evict")
+        sweeps = 0
+        limit = 2 * len(self._clock_ring) + 1
+        while sweeps < limit:
+            self._clock_hand %= len(self._clock_ring)
+            page_id = self._clock_ring[self._clock_hand]
+            frame = self._frames[page_id]
+            if frame.pins == 0 and not self._referenced.get(page_id, False):
+                self._evict(page_id, frame)
+                self._clock_ring.pop(self._clock_hand)
+                return
+            self._referenced[page_id] = False
+            self._clock_hand += 1
+            sweeps += 1
+        raise BufferPoolFullError(
+            "all %d frames pinned; cannot evict" % len(self._frames)
+        )
+
+    def _evict(self, page_id: PageId, frame: _Frame) -> None:
+        self.stats.evictions += 1
+        if frame.dirty:
+            self.stats.dirty_evictions += 1
+            self.disk.write_page(frame.page)
+        del self._frames[page_id]
+        self._referenced.pop(page_id, None)

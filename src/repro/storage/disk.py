@@ -1,0 +1,189 @@
+"""Simulated disk with per-file page allocation and I/O accounting.
+
+The :class:`DiskManager` is the bottom of the storage stack: everything the
+buffer pool reads from or writes to it is counted, and those counts are the
+performance yardstick of the whole study (the paper measures average I/O
+traffic per query using INGRES's I/O counters; :class:`IoSnapshot` plays
+the role of those counters).
+
+Pages live in memory — this is a simulator — but the interface is the one a
+real disk manager would expose: create/drop files, allocate pages, read and
+write whole pages by :class:`PageId`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import FileNotFoundError_, PageNotFoundError
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page, PageId
+
+
+@dataclass(frozen=True)
+class IoSnapshot:
+    """Immutable copy of the disk's I/O counters.
+
+    Subtract two snapshots to get the traffic of an interval::
+
+        before = disk.snapshot()
+        ...work...
+        delta = disk.snapshot() - before
+        print(delta.total)
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IoSnapshot") -> "IoSnapshot":
+        return IoSnapshot(self.reads - other.reads, self.writes - other.writes)
+
+    def __add__(self, other: "IoSnapshot") -> "IoSnapshot":
+        return IoSnapshot(self.reads + other.reads, self.writes + other.writes)
+
+
+class DiskManager:
+    """Holds files of pages and counts every page read and write.
+
+    Per-file counters are kept as well as global ones so experiment code
+    can attribute I/O to individual relations (e.g. the ParCost/ChildCost
+    breakdown of Figure 5).
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self._files: Dict[int, List[Page]] = {}
+        self._file_names: Dict[int, str] = {}
+        self._next_file_id = 0
+        self.reads = 0
+        self.writes = 0
+        self._file_reads: Dict[int, int] = {}
+        self._file_writes: Dict[int, int] = {}
+        #: Optional observer invoked as ``hook(kind, page_id)`` with kind in
+        #: {"read", "write"}; used by tests and cost-attribution tools.
+        self.io_hook: Optional[Callable[[str, PageId], None]] = None
+
+    # ------------------------------------------------------------------
+    # file management
+    # ------------------------------------------------------------------
+    def create_file(self, name: str = "") -> int:
+        """Create an empty file, returning its file id."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self._files[file_id] = []
+        self._file_names[file_id] = name or ("file-%d" % file_id)
+        self._file_reads[file_id] = 0
+        self._file_writes[file_id] = 0
+        return file_id
+
+    def drop_file(self, file_id: int) -> None:
+        """Remove a file and its pages.  Counters for it are retained."""
+        self._require_file(file_id)
+        del self._files[file_id]
+        del self._file_names[file_id]
+
+    def truncate_file(self, file_id: int) -> None:
+        """Discard every page of ``file_id``, keeping the file itself."""
+        self._require_file(file_id)
+        self._files[file_id] = []
+
+    def file_exists(self, file_id: int) -> bool:
+        return file_id in self._files
+
+    def file_name(self, file_id: int) -> str:
+        self._require_file(file_id)
+        return self._file_names[file_id]
+
+    def num_pages(self, file_id: int) -> int:
+        self._require_file(file_id)
+        return len(self._files[file_id])
+
+    def total_pages(self) -> int:
+        """Number of allocated pages across all live files."""
+        return sum(len(pages) for pages in self._files.values())
+
+    def file_ids(self) -> Iterator[int]:
+        return iter(self._files.keys())
+
+    # ------------------------------------------------------------------
+    # page I/O
+    # ------------------------------------------------------------------
+    def allocate_page(self, file_id: int) -> Page:
+        """Append a fresh page to ``file_id`` (no I/O is charged).
+
+        Allocation itself is metadata work; the page is charged as a write
+        when the buffer pool flushes it.
+        """
+        self._require_file(file_id)
+        pages = self._files[file_id]
+        page = Page(PageId(file_id, len(pages)), self.page_size)
+        pages.append(page)
+        return page
+
+    def read_page(self, page_id: PageId) -> Page:
+        """Fetch a page, counting one read."""
+        page = self._get(page_id)
+        self.reads += 1
+        self._file_reads[page_id.file_id] += 1
+        if self.io_hook is not None:
+            self.io_hook("read", page_id)
+        return page
+
+    def write_page(self, page: Page) -> None:
+        """Persist a page, counting one write."""
+        # The page object *is* the stored page (in-memory simulation), so
+        # there is nothing to copy; only the accounting matters.
+        self._require_file(page.page_id.file_id)
+        self.writes += 1
+        self._file_writes[page.page_id.file_id] += 1
+        if self.io_hook is not None:
+            self.io_hook("write", page.page_id)
+
+    def peek_page(self, page_id: PageId) -> Page:
+        """Fetch a page WITHOUT counting I/O.
+
+        For tests and invariant checks only — never used on a query path.
+        """
+        return self._get(page_id)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> IoSnapshot:
+        """Copy the global I/O counters."""
+        return IoSnapshot(self.reads, self.writes)
+
+    def file_snapshot(self, file_id: int) -> IoSnapshot:
+        """Copy the counters for one file (zero if never created)."""
+        return IoSnapshot(
+            self._file_reads.get(file_id, 0), self._file_writes.get(file_id, 0)
+        )
+
+    def reset_counters(self) -> None:
+        """Zero all counters (global and per-file)."""
+        self.reads = 0
+        self.writes = 0
+        for file_id in self._file_reads:
+            self._file_reads[file_id] = 0
+        for file_id in self._file_writes:
+            self._file_writes[file_id] = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_file(self, file_id: int) -> None:
+        if file_id not in self._files:
+            raise FileNotFoundError_("no such file id: %r" % (file_id,))
+
+    def _get(self, page_id: PageId) -> Page:
+        self._require_file(page_id.file_id)
+        pages = self._files[page_id.file_id]
+        if not 0 <= page_id.page_no < len(pages):
+            raise PageNotFoundError("no such page: %s" % (page_id,))
+        return pages[page_id.page_no]

@@ -1,0 +1,220 @@
+"""Static hash files.
+
+The cache relation of Section 4 — ``Cache(hashkey, value)`` — "is
+maintained as a hash relation, hashed on hashkey".  A :class:`HashFile`
+implements classic static hashing: a fixed number of bucket (primary)
+pages allocated up front, each with an overflow chain that grows as
+needed.  Unlike the paper's base relations, the cache sees inserts and
+deletes continuously (units cached, units invalidated), so this access
+method is fully dynamic.
+
+Records are arbitrary schema tuples; ``key_name`` selects the hash-key
+field.  Keys are unique (a hashkey identifies one cached unit).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageId
+from repro.storage.record import Schema
+
+DEFAULT_BUCKETS = 64
+
+
+def stable_hash(key: Any) -> int:
+    """Process-independent hash (Python's ``hash`` of str is randomized)."""
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, tuple):
+        acc = 0x345678
+        for part in key:
+            acc = (acc * 1000003) ^ stable_hash(part)
+            acc &= 0x7FFFFFFFFFFFFFFF
+        return acc
+    raise TypeError("unhashable key type for hash file: %r" % type(key).__name__)
+
+
+class HashFile:
+    """Static-hashing keyed file with per-bucket overflow chains."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        schema: Schema,
+        key_name: str,
+        buckets: int = DEFAULT_BUCKETS,
+        name: str = "hash",
+    ) -> None:
+        if buckets <= 0:
+            raise ValueError("buckets must be positive, got %d" % buckets)
+        self.pool = pool
+        self.schema = schema
+        self.key_name = key_name
+        self._key_index = schema.field_index(key_name)
+        self.buckets = buckets
+        self.name = name
+        self.file_id = pool.disk.create_file(name)
+        # Primary pages are allocated eagerly so bucket b == page_no b.
+        for _ in range(buckets):
+            self.pool.new_page(self.file_id)
+        self._overflow_next: Dict[int, int] = {}
+        self._free_overflow: List[int] = []
+        self._num_records = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.num_pages(self.file_id)
+
+    def _key(self, record: Tuple[Any, ...]) -> Any:
+        return record[self._key_index]
+
+    def _bucket(self, key: Any) -> int:
+        return stable_hash(key) % self.buckets
+
+    def _chain(self, bucket: int) -> Iterator[int]:
+        current: Optional[int] = bucket
+        while current is not None:
+            yield current
+            current = self._overflow_next.get(current)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Any) -> Optional[Tuple[Any, ...]]:
+        """The record with ``key`` or None; reads the bucket chain."""
+        for page_no in self._chain(self._bucket(key)):
+            page = self.pool.fetch(PageId(self.file_id, page_no))
+            for record in page:
+                if self._key(record) == key:
+                    return record
+        return None
+
+    def contains(self, key: Any) -> bool:
+        return self.lookup(key) is not None
+
+    def insert(self, record: Tuple[Any, ...]) -> None:
+        """Insert ``record``; raises DuplicateKeyError on key reuse."""
+        self.schema.validate(record)
+        key = self._key(record)
+        size = self.schema.record_size(record)
+        last = None
+        for page_no in self._chain(self._bucket(key)):
+            last = page_no
+            page = self.pool.fetch(PageId(self.file_id, page_no))
+            for existing in page:
+                if self._key(existing) == key:
+                    raise DuplicateKeyError(
+                        "key %r already in hash file %r" % (key, self.name)
+                    )
+            if page.fits(size):
+                page.insert(record, size)
+                self.pool.mark_dirty(page.page_id)
+                self._num_records += 1
+                return
+        assert last is not None
+        overflow_no = self._grab_overflow_page()
+        page = self.pool.fetch(PageId(self.file_id, overflow_no))
+        if not page.fits(size):
+            raise StorageError(
+                "record of %d bytes exceeds page capacity in %r" % (size, self.name)
+            )
+        page.insert(record, size)
+        self.pool.mark_dirty(page.page_id)
+        self._overflow_next[last] = overflow_no
+        self._num_records += 1
+
+    def upsert(self, record: Tuple[Any, ...]) -> None:
+        """Insert or replace by key."""
+        key = self._key(record)
+        if self.lookup(key) is not None:
+            self.delete(key)
+        self.insert(record)
+
+    def delete(self, key: Any) -> Tuple[Any, ...]:
+        """Remove and return the record with ``key``."""
+        prev: Optional[int] = None
+        for page_no in self._chain(self._bucket(key)):
+            page_id = PageId(self.file_id, page_no)
+            page = self.pool.fetch(page_id)
+            for slot, record in page.entries():
+                if self._key(record) == key:
+                    page.delete(slot)
+                    self.pool.mark_dirty(page_id)
+                    self._num_records -= 1
+                    self._maybe_unlink(prev, page_no)
+                    return record
+            prev = page_no
+        raise KeyNotFoundError("key %r not in hash file %r" % (key, self.name))
+
+    def delete_if_present(self, key: Any) -> bool:
+        """Delete ``key`` if present; return whether a record was removed."""
+        try:
+            self.delete(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        """Yield every record, bucket by bucket."""
+        for bucket in range(self.buckets):
+            for page_no in self._chain(bucket):
+                page = self.pool.fetch(PageId(self.file_id, page_no))
+                for record in page:
+                    yield record
+
+    def truncate(self) -> None:
+        """Remove every record, keeping primary pages allocated."""
+        for bucket in range(self.buckets):
+            for page_no in list(self._chain(bucket)):
+                page_id = PageId(self.file_id, page_no)
+                page = self.pool.fetch(page_id)
+                if len(page):
+                    page.pop_all()
+                    self.pool.mark_dirty(page_id)
+        for page_no in list(self._overflow_next.values()):
+            self._free_overflow.append(page_no)
+        self._overflow_next.clear()
+        self._num_records = 0
+
+    # ------------------------------------------------------------------
+    def overflow_pages(self) -> int:
+        return len(self._overflow_next)
+
+    def chain_length(self, bucket: int) -> int:
+        """Number of pages in ``bucket``'s chain (1 = no overflow)."""
+        return sum(1 for _ in self._chain(bucket))
+
+    def __len__(self) -> int:
+        return self._num_records
+
+    # ------------------------------------------------------------------
+    def _grab_overflow_page(self) -> int:
+        if self._free_overflow:
+            return self._free_overflow.pop()
+        return self.pool.new_page(self.file_id).page_id.page_no
+
+    def _maybe_unlink(self, prev: Optional[int], page_no: int) -> None:
+        """Recycle an overflow page that became empty."""
+        if prev is None or page_no < self.buckets:
+            return
+        page = self.pool.fetch(PageId(self.file_id, page_no))
+        if len(page):
+            return
+        nxt = self._overflow_next.get(page_no)
+        if nxt is not None:
+            self._overflow_next[prev] = nxt
+            del self._overflow_next[page_no]
+        else:
+            del self._overflow_next[prev]
+        self._free_overflow.append(page_no)

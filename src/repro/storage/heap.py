@@ -1,0 +1,141 @@
+"""Unordered heap files.
+
+Heaps back the temporary relations that the breadth-first strategies build
+(``temp`` in Section 3.1 of the paper) and serve as the generic unkeyed
+relation type.  All page traffic flows through the buffer pool, so filling
+a temporary charges exactly the write-backs a real engine would pay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, NamedTuple, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageId
+from repro.storage.record import Schema
+
+
+class RecordId(NamedTuple):
+    """Physical address of a record inside one file."""
+
+    page_no: int
+    slot: int
+
+
+class HeapFile:
+    """Append-oriented file of records with full-scan access.
+
+    The heap remembers only its tail page number; inserts go to the tail,
+    allocating a new page when the record does not fit.  Records are
+    validated against ``schema`` on insert.
+    """
+
+    def __init__(self, pool: BufferPool, schema: Schema, name: str = "heap") -> None:
+        self.pool = pool
+        self.schema = schema
+        self.name = name
+        self.file_id = pool.disk.create_file(name)
+        self._num_records = 0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.num_pages(self.file_id)
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, record: Tuple[Any, ...]) -> RecordId:
+        """Append ``record`` to the tail page; return its address."""
+        self.schema.validate(record)
+        size = self.schema.record_size(record)
+        num_pages = self.num_pages
+        if num_pages:
+            tail_id = PageId(self.file_id, num_pages - 1)
+            page = self.pool.fetch(tail_id)
+            if page.fits(size):
+                slot = page.insert(record, size)
+                self.pool.mark_dirty(tail_id)
+                self._num_records += 1
+                return RecordId(tail_id.page_no, slot)
+        page = self.pool.new_page(self.file_id)
+        slot = page.insert(record, size)
+        self._num_records += 1
+        return RecordId(page.page_id.page_no, slot)
+
+    def insert_many(self, records: Iterable[Tuple[Any, ...]]) -> int:
+        """Append each record; return how many were inserted."""
+        count = 0
+        for record in records:
+            self.insert(record)
+            count += 1
+        return count
+
+    def update(self, rid: RecordId, record: Tuple[Any, ...]) -> None:
+        """Overwrite the record at ``rid`` in place."""
+        self.schema.validate(record)
+        page_id = PageId(self.file_id, rid.page_no)
+        page = self.pool.fetch(page_id)
+        if rid.slot >= len(page):
+            raise StorageError("no record at %r in heap %r" % (rid, self.name))
+        page.replace(rid.slot, record, self.schema.record_size(record))
+        self.pool.mark_dirty(page_id)
+
+    def truncate(self) -> None:
+        """Discard all records and pages (buffered frames are dropped)."""
+        self.pool.invalidate_file(self.file_id)
+        self.pool.disk.truncate_file(self.file_id)
+        self._num_records = 0
+
+    def drop(self) -> None:
+        """Destroy the file entirely.  The heap must not be used afterwards."""
+        self.pool.invalidate_file(self.file_id)
+        self.pool.disk.drop_file(self.file_id)
+        self._num_records = 0
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def fetch(self, rid: RecordId) -> Tuple[Any, ...]:
+        """Read one record by address."""
+        page = self.pool.fetch(PageId(self.file_id, rid.page_no))
+        if rid.slot >= len(page):
+            raise StorageError("no record at %r in heap %r" % (rid, self.name))
+        return page.get(rid.slot)
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        """Yield every record in file order."""
+        for _, record in self.scan_with_rids():
+            yield record
+
+    def scan_with_rids(self) -> Iterator[Tuple[RecordId, Tuple[Any, ...]]]:
+        """Yield ``(rid, record)`` in file order."""
+        for page_no in range(self.num_pages):
+            page = self.pool.fetch(PageId(self.file_id, page_no))
+            for slot, record in page.entries():
+                yield RecordId(page_no, slot), record
+
+    def select(
+        self, predicate: Callable[[Tuple[Any, ...]], bool]
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Full scan filtered by ``predicate``."""
+        for record in self.scan():
+            if predicate(record):
+                yield record
+
+    def __len__(self) -> int:
+        return self._num_records
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "HeapFile(%r, %d records, %d pages)" % (
+            self.name,
+            self._num_records,
+            self.num_pages,
+        )

@@ -1,0 +1,148 @@
+"""Static ISAM indexes.
+
+Section 4 of the paper: "In order to randomly access an object with a given
+OID, we need an index on ClusterRel.OID.  In our environment there are no
+insertions or deletions, and hence the index is static.  Consequently, it
+is maintained as an isam structure."
+
+An :class:`IsamIndex` maps keys to small payloads (here: the data page
+number, or the cluster#, of the indexed record).  It is built once from
+sorted entries packed onto index pages; a small in-memory directory of
+first-keys models the (few, hot) upper directory levels, while the index
+*leaf* pages are real pages read through the buffer pool — so ISAM probes
+compete for buffer space exactly as they did in INGRES.  Late insertions
+go to overflow pages chained off the covering leaf, the classic ISAM
+degradation (exercised by tests, not by the reproduction workload).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageId
+
+#: Bytes per ISAM entry (key + payload pointer).
+ISAM_ENTRY_BYTES = 12
+
+
+class IsamIndex:
+    """Static sorted index from unique keys to payloads."""
+
+    def __init__(self, pool: BufferPool, name: str = "isam") -> None:
+        self.pool = pool
+        self.name = name
+        self.file_id = pool.disk.create_file(name)
+        self._directory: List[Any] = []  # first key of each primary page
+        self._primary_nos: List[int] = []
+        self._overflow_next: Dict[int, int] = {}  # page_no -> overflow page_no
+        self._num_entries = 0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def num_pages(self) -> int:
+        return self.pool.disk.num_pages(self.file_id)
+
+    def build(self, entries: List[Tuple[Any, Any]]) -> None:
+        """Load sorted ``(key, payload)`` pairs into primary pages."""
+        if self._built:
+            raise StorageError("isam %r already built" % self.name)
+        keys = [k for k, _ in entries]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise StorageError("isam build input must be strictly sorted by key")
+        page = None
+        for entry in entries:
+            if page is None or not page.fits(ISAM_ENTRY_BYTES):
+                page = self.pool.new_page(self.file_id)
+                self._primary_nos.append(page.page_id.page_no)
+                self._directory.append(entry[0])
+            page.insert(entry, ISAM_ENTRY_BYTES)
+            self._num_entries += 1
+        self._built = True
+
+    # ------------------------------------------------------------------
+    def _covering_primary(self, key: Any) -> Optional[int]:
+        """Primary page number whose key range covers ``key``."""
+        if not self._directory:
+            return None
+        idx = bisect.bisect_right(self._directory, key) - 1
+        if idx < 0:
+            idx = 0
+        return self._primary_nos[idx]
+
+    def _chain(self, page_no: int) -> Iterator[int]:
+        """Yield ``page_no`` and its overflow chain."""
+        current: Optional[int] = page_no
+        while current is not None:
+            yield current
+            current = self._overflow_next.get(current)
+
+    def lookup(self, key: Any) -> Any:
+        """Payload for ``key``; raises :class:`KeyNotFoundError` if absent."""
+        payload = self.get(key)
+        if payload is None:
+            raise KeyNotFoundError("key %r not in isam %r" % (key, self.name))
+        return payload
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Payload for ``key`` or ``default``."""
+        start = self._covering_primary(key)
+        if start is None:
+            return default
+        for page_no in self._chain(start):
+            page = self.pool.fetch(PageId(self.file_id, page_no))
+            entry_keys = [e[0] for e in page.records]
+            slot = bisect.bisect_left(entry_keys, key)
+            if slot < len(entry_keys) and entry_keys[slot] == key:
+                return page.get(slot)[1]
+        return default
+
+    def insert(self, key: Any, payload: Any) -> None:
+        """Add an entry after build time, via overflow chaining."""
+        if not self._built:
+            raise StorageError("isam %r not built yet" % self.name)
+        start = self._covering_primary(key)
+        if start is None:
+            raise StorageError("cannot insert into an empty isam %r" % self.name)
+        if self.get(key) is not None:
+            raise DuplicateKeyError("key %r already in isam %r" % (key, self.name))
+        last = start
+        for page_no in self._chain(start):
+            last = page_no
+            page = self.pool.fetch(PageId(self.file_id, page_no))
+            if page.fits(ISAM_ENTRY_BYTES):
+                entry_keys = [e[0] for e in page.records]
+                slot = bisect.bisect_left(entry_keys, key)
+                page.insert_at(slot, (key, payload), ISAM_ENTRY_BYTES)
+                self.pool.mark_dirty(page.page_id)
+                self._num_entries += 1
+                return
+        overflow = self.pool.new_page(self.file_id)
+        overflow.insert((key, payload), ISAM_ENTRY_BYTES)
+        self._overflow_next[last] = overflow.page_id.page_no
+        self._num_entries += 1
+
+    def scan(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield every ``(key, payload)`` in key order within each chain."""
+        for start in self._primary_nos:
+            chain_entries: List[Tuple[Any, Any]] = []
+            for page_no in self._chain(start):
+                page = self.pool.fetch(PageId(self.file_id, page_no))
+                chain_entries.extend(page.records)
+            chain_entries.sort(key=lambda e: e[0])
+            for entry in chain_entries:
+                yield entry
+
+    def overflow_pages(self) -> int:
+        """How many overflow pages exist (ISAM degradation measure)."""
+        return len(self._overflow_next)
+
+    def __len__(self) -> int:
+        return self._num_entries

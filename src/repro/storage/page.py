@@ -1,0 +1,160 @@
+"""Page abstraction.
+
+The simulator's unit of I/O is the page, as in INGRES.  A page holds whole
+records and enforces a byte budget: the record layer computes each record's
+on-page size (including blank compression of character fields, see
+:mod:`repro.storage.record`) and :meth:`Page.insert` refuses records that
+would overflow the page.  Records are kept as decoded Python tuples — the
+paper's yardstick is the *number* of page I/Os, which depends only on how
+many records fit per page, not on actual byte encodings.
+
+``DEFAULT_PAGE_SIZE`` is 2048 bytes, the INGRES 5.0 data-page size used in
+the paper's experiments; ``PAGE_HEADER_BYTES`` models the page header and
+line table, leaving roughly 2000 usable bytes so that typical 200-byte
+ParentRel tuples pack ~10 per page and 100-byte ChildRel tuples ~20 per
+page, matching Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import PageFullError
+
+DEFAULT_PAGE_SIZE = 2048
+PAGE_HEADER_BYTES = 40
+#: Per-record slot overhead (line-table entry), in bytes.
+SLOT_BYTES = 2
+
+
+class PageId(NamedTuple):
+    """Address of a page: which file it lives in and its position there."""
+
+    file_id: int
+    page_no: int
+
+    def __str__(self) -> str:
+        return "page(%d:%d)" % (self.file_id, self.page_no)
+
+
+class Page:
+    """A fixed-capacity container of records.
+
+    The page tracks ``used_bytes`` so access methods can make the same
+    fit/overflow decisions a byte-oriented storage engine would.  Slots are
+    stable only until a delete; access methods that need stable record
+    addresses (the B-tree, which is static after bulk load) never delete.
+    """
+
+    __slots__ = ("page_id", "capacity", "used_bytes", "records", "_sizes")
+
+    def __init__(self, page_id: PageId, capacity: int = DEFAULT_PAGE_SIZE) -> None:
+        if capacity <= PAGE_HEADER_BYTES:
+            raise ValueError("page capacity %d smaller than header" % capacity)
+        self.page_id = page_id
+        self.capacity = capacity
+        self.used_bytes = PAGE_HEADER_BYTES
+        self.records: List[Any] = []
+        self._sizes: List[int] = []
+
+    # ------------------------------------------------------------------
+    # capacity & mutation
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def fits(self, record_size: int) -> bool:
+        """Whether a record of ``record_size`` bytes can be inserted."""
+        return record_size + SLOT_BYTES <= self.free_bytes
+
+    def insert(self, record: Any, record_size: int) -> int:
+        """Append ``record``; return its slot number.
+
+        Raises :class:`PageFullError` if the record does not fit.  Callers
+        are expected to probe with :meth:`fits` on the normal path; the
+        exception guards against accounting bugs.
+        """
+        if not self.fits(record_size):
+            raise PageFullError(
+                "record of %d bytes does not fit in %d free bytes on %s"
+                % (record_size, self.free_bytes, self.page_id)
+            )
+        self.records.append(record)
+        self._sizes.append(record_size)
+        self.used_bytes += record_size + SLOT_BYTES
+        return len(self.records) - 1
+
+    def insert_at(self, slot: int, record: Any, record_size: int) -> None:
+        """Insert ``record`` at ``slot``, shifting later slots right."""
+        if not self.fits(record_size):
+            raise PageFullError(
+                "record of %d bytes does not fit in %d free bytes on %s"
+                % (record_size, self.free_bytes, self.page_id)
+            )
+        if not 0 <= slot <= len(self.records):
+            raise IndexError("slot %d out of range" % slot)
+        self.records.insert(slot, record)
+        self._sizes.insert(slot, record_size)
+        self.used_bytes += record_size + SLOT_BYTES
+
+    def replace(self, slot: int, record: Any, record_size: Optional[int] = None) -> None:
+        """Overwrite the record in ``slot`` (in-place update).
+
+        If ``record_size`` is given and differs from the old size, the page
+        budget is adjusted; an update that would overflow raises
+        :class:`PageFullError` (the paper's updates are same-size in-place
+        modifications, so this path is exercised only by tests).
+        """
+        old_size = self._sizes[slot]
+        new_size = old_size if record_size is None else record_size
+        growth = new_size - old_size
+        if growth > self.free_bytes:
+            raise PageFullError(
+                "in-place growth of %d bytes does not fit on %s" % (growth, self.page_id)
+            )
+        self.records[slot] = record
+        self._sizes[slot] = new_size
+        self.used_bytes += growth
+
+    def delete(self, slot: int) -> Any:
+        """Remove and return the record in ``slot`` (compacting the page)."""
+        record = self.records.pop(slot)
+        size = self._sizes.pop(slot)
+        self.used_bytes -= size + SLOT_BYTES
+        return record
+
+    def pop_all(self) -> List[Any]:
+        """Remove and return every record (used when rebuilding pages)."""
+        records = self.records
+        self.records = []
+        self._sizes = []
+        self.used_bytes = PAGE_HEADER_BYTES
+        return records
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def get(self, slot: int) -> Any:
+        return self.records[slot]
+
+    def record_size(self, slot: int) -> int:
+        return self._sizes[slot]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    def entries(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate ``(slot, record)`` pairs."""
+        return enumerate(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Page(%s, %d records, %d/%d bytes)" % (
+            self.page_id,
+            len(self.records),
+            self.used_bytes,
+            self.capacity,
+        )

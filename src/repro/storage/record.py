@@ -1,0 +1,229 @@
+"""Schemas, fields and record-size computation.
+
+The simulator never serialises records to bytes; what the paper's I/O
+numbers depend on is how many tuples fit on a 2 KB page, which is purely a
+function of record *sizes*.  This module computes those sizes with the same
+conventions the paper describes for INGRES 5.0:
+
+* integer fields are 4 bytes;
+* character fields are declared with a fixed width but stored with blanks
+  "compressed" ([RTI86], Section 4 of the paper), i.e. a value occupies
+  ``len(value)`` bytes (capped at the declared width) plus a 2-byte length
+  prefix — this is how ParentRel's ``children`` field holds a variable
+  number of OIDs inside a fixed-width attribute;
+* OID-list fields model exactly that ``children`` attribute: a list of
+  :class:`~repro.core.oid.Oid` values printed into a character field at
+  ``OID_CHARS`` bytes apiece.
+
+Records themselves are plain tuples, positionally matched to the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import RecordError
+
+#: Bytes one OID occupies inside a character-encoded OID list (relation
+#: identifier + primary key + separator, cf. Section 2.2 of the paper).
+OID_CHARS = 10
+
+#: Length prefix charged to every compressed character value.
+CHAR_OVERHEAD = 2
+
+INT_BYTES = 4
+
+
+class Field:
+    """Base class for schema fields.  Subclasses define size and checking."""
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise RecordError("field name must be a non-empty string")
+        self.name = name
+
+    def size_of(self, value: Any) -> int:
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class IntField(Field):
+    """A 4-byte integer attribute (``retl``, ``ret2``, ``ret3``, OIDs...)."""
+
+    def size_of(self, value: Any) -> int:
+        return INT_BYTES
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise RecordError("field %r expects int, got %r" % (self.name, value))
+
+
+class CharField(Field):
+    """A fixed-width character attribute with blank compression.
+
+    ``width`` is the declared maximum.  The stored size is
+    ``min(len(value), width) + CHAR_OVERHEAD`` when ``compressed`` (the
+    INGRES behaviour used in the paper) or ``width`` when not.
+    """
+
+    def __init__(self, name: str, width: int, compressed: bool = True) -> None:
+        super().__init__(name)
+        if width <= 0:
+            raise RecordError("char field %r needs positive width" % name)
+        self.width = width
+        self.compressed = compressed
+
+    def size_of(self, value: Any) -> int:
+        if not self.compressed:
+            return self.width
+        return min(len(value), self.width) + CHAR_OVERHEAD
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, str):
+            raise RecordError("field %r expects str, got %r" % (self.name, value))
+        if len(value) > self.width:
+            raise RecordError(
+                "value of %d chars exceeds width %d of field %r"
+                % (len(value), self.width, self.name)
+            )
+
+
+class OidListField(Field):
+    """The ``children`` attribute: a list of OIDs in a character field.
+
+    ``max_oids`` bounds the list (the declared width divided by
+    :data:`OID_CHARS`); values are sequences of OIDs (anything hashable and
+    comparable — the library uses :class:`repro.core.oid.Oid`).
+    """
+
+    def __init__(self, name: str, max_oids: int) -> None:
+        super().__init__(name)
+        if max_oids <= 0:
+            raise RecordError("oid-list field %r needs positive max_oids" % name)
+        self.max_oids = max_oids
+
+    def size_of(self, value: Any) -> int:
+        return len(value) * OID_CHARS + CHAR_OVERHEAD
+
+    def validate(self, value: Any) -> None:
+        if isinstance(value, (str, bytes)) or not isinstance(value, (list, tuple)):
+            raise RecordError(
+                "field %r expects a list/tuple of OIDs, got %r" % (self.name, value)
+            )
+        if len(value) > self.max_oids:
+            raise RecordError(
+                "%d OIDs exceed declared maximum %d of field %r"
+                % (len(value), self.max_oids, self.name)
+            )
+
+
+class BlobField(Field):
+    """An opaque payload whose on-page size is computed by a callable.
+
+    The unit cache stores "the value of the subobjects of a unit" — the
+    concatenation of whole child tuples — as one attribute
+    (``Cache(hashkey, value)``, Section 4 of the paper).  ``size_fn`` maps
+    the payload to the bytes it would occupy; the payload itself can be
+    any Python object.
+    """
+
+    def __init__(self, name: str, size_fn: Callable[[Any], int]) -> None:
+        super().__init__(name)
+        if not callable(size_fn):
+            raise RecordError("blob field %r needs a callable size_fn" % name)
+        self.size_fn = size_fn
+
+    def size_of(self, value: Any) -> int:
+        return int(self.size_fn(value))
+
+    def validate(self, value: Any) -> None:
+        size = self.size_fn(value)
+        if not isinstance(size, int) or size < 0:
+            raise RecordError(
+                "size_fn of blob field %r returned %r" % (self.name, size)
+            )
+
+
+class Schema:
+    """An ordered collection of fields; records are positional tuples."""
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        if not fields:
+            raise RecordError("schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise RecordError("duplicate field names in schema: %r" % (names,))
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        self._index = {f.name: i for i, f in enumerate(fields)}
+
+    # ------------------------------------------------------------------
+    def field_index(self, name: str) -> int:
+        """Position of field ``name``; raises RecordError if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise RecordError("no field %r in schema %r" % (name, self.names())) from None
+
+    def names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def has_field(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    # ------------------------------------------------------------------
+    def validate(self, record: Sequence[Any]) -> None:
+        """Check arity and per-field types/widths; raise RecordError."""
+        if len(record) != len(self.fields):
+            raise RecordError(
+                "record arity %d does not match schema arity %d"
+                % (len(record), len(self.fields))
+            )
+        for field, value in zip(self.fields, record):
+            field.validate(value)
+
+    def record_size(self, record: Sequence[Any]) -> int:
+        """Bytes the record occupies on a page (excluding the slot entry)."""
+        return sum(field.size_of(value) for field, value in zip(self.fields, record))
+
+    def value(self, record: Sequence[Any], name: str) -> Any:
+        """Extract field ``name`` from ``record``."""
+        return record[self.field_index(name)]
+
+    def replaced(
+        self, record: Sequence[Any], name: str, new_value: Any
+    ) -> Tuple[Any, ...]:
+        """Return a copy of ``record`` with field ``name`` set to ``new_value``."""
+        index = self.field_index(name)
+        out = list(record)
+        out[index] = new_value
+        return tuple(out)
+
+    def project(self, record: Sequence[Any], names: Sequence[str]) -> Tuple[Any, ...]:
+        """Return the sub-tuple of ``record`` for ``names``, in order."""
+        return tuple(record[self.field_index(n)] for n in names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Schema(%s)" % ", ".join(self.names())
+
+
+def pad_string(base: str, length: int) -> str:
+    """Deterministically pad/truncate ``base`` to exactly ``length`` chars.
+
+    The workload generator uses this to build ``dummy`` values that bring
+    tuples to the paper's typical sizes (200 bytes for ParentRel, 100 for
+    ChildRel).
+    """
+    if length <= 0:
+        return ""
+    if len(base) >= length:
+        return base[:length]
+    reps = (length - len(base)) // len("x") + 1
+    return (base + "x" * reps)[:length]

@@ -1,0 +1,15 @@
+"""Small shared utilities: deterministic RNG helpers, statistics, tables."""
+
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.stats import RunningStats, mean, percentile
+from repro.util.fmt import format_table, format_float
+
+__all__ = [
+    "derive_rng",
+    "spawn_seeds",
+    "RunningStats",
+    "mean",
+    "percentile",
+    "format_table",
+    "format_float",
+]

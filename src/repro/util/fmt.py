@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Render a float compactly: integers without a fraction part."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return ("%." + str(digits) + "f") % value
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row has %d cells but table has %d headers" % (len(row), len(headers))
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_kv(pairs: Sequence, title: str = "") -> str:
+    """Render key/value pairs one per line, keys left-aligned."""
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in pairs:
+        lines.append("%s : %s" % (str(key).ljust(width), _cell(value)))
+    return "\n".join(lines)

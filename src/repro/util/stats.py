@@ -1,0 +1,121 @@
+"""Streaming summary statistics used by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (experiment-friendly)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100], got %r" % (q,))
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(data[lo])
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class RunningStats:
+    """Welford-style running mean/variance with min/max tracking.
+
+    Used by the driver to accumulate per-query I/O costs without keeping
+    every sample when sequences are long.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the summary."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 with fewer than 2 samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self._mean * self.count
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for reports and JSON dumps."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "RunningStats(count=%d, mean=%.2f, stddev=%.2f)" % (
+            self.count,
+            self.mean,
+            self.stddev,
+        )
+
+
+def histogram(values: Sequence[float], bins: int = 10) -> List[int]:
+    """Fixed-width histogram of ``values`` into ``bins`` buckets."""
+    if bins <= 0:
+        raise ValueError("bins must be positive, got %d" % bins)
+    if not values:
+        return [0] * bins
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        counts = [0] * bins
+        counts[0] = len(values)
+        return counts
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for value in values:
+        index = int((value - lo) / width)
+        if index == bins:  # value == hi lands in the last bucket
+            index -= 1
+        counts[index] += 1
+    return counts

@@ -1,0 +1,155 @@
+"""Generator for multi-level (transitive) complex-object databases.
+
+Extends the Section 4 generator to L levels: every level-k object owns a
+unit of ``size_unit`` level-(k+1) subobjects, and every unit is shared by
+an expected ``use_factor`` level-k objects, so the cardinality of level
+k+1 is ``|level k| * size_unit / use_factor`` — eqn. (1) applied
+recursively.  With ``use_factor`` > 1 the number of *distinct* objects
+reachable from a root grows much more slowly than the number of paths to
+them, which is the regime where duplicate elimination between levels
+(BFSNODUP) has something to remove.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.deep import DeepDatabase
+from repro.core.oid import Oid
+from repro.errors import WorkloadError
+from repro.storage.catalog import Catalog
+from repro.storage.record import (
+    CharField,
+    IntField,
+    OidListField,
+    Schema,
+    pad_string,
+)
+from repro.util.rng import derive_rng
+
+_RET_RANGE = 1_000_000
+
+
+@dataclass(frozen=True)
+class DeepParams:
+    """Parameters of an L-level hierarchy."""
+
+    num_roots: int = 1000
+    depth: int = 2
+    size_unit: int = 5
+    use_factor: int = 5
+    record_bytes: int = 120
+    buffer_pages: int = 100
+    page_size: int = 2048
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.num_roots <= 0:
+            raise WorkloadError("num_roots must be positive")
+        if self.depth < 1:
+            raise WorkloadError("depth must be >= 1")
+        if self.size_unit <= 0 or self.use_factor <= 0:
+            raise WorkloadError("size_unit and use_factor must be positive")
+        if self.record_bytes < 60:
+            raise WorkloadError("record_bytes too small for the fields")
+        if self.level_cardinality(self.depth) < self.size_unit:
+            raise WorkloadError(
+                "hierarchy dies out before depth %d; raise num_roots or "
+                "lower use_factor" % self.depth
+            )
+
+    def level_cardinality(self, level: int) -> int:
+        """Expected number of objects at ``level`` (0 = roots)."""
+        count = float(self.num_roots)
+        for _ in range(level):
+            count = count * self.size_unit / self.use_factor
+        return max(1, round(count))
+
+    def replace(self, **changes) -> "DeepParams":
+        params = dataclasses.replace(self, **changes)
+        params.validate()
+        return params
+
+
+def _dummy_width(params: DeepParams) -> int:
+    fixed = 4 * 4
+    children = params.size_unit * 10 + 2
+    return max(1, params.record_bytes - fixed - children - 2)
+
+
+def make_level_schema(params: DeepParams) -> Schema:
+    return Schema(
+        [
+            IntField("oid"),
+            IntField("ret1"),
+            IntField("ret2"),
+            IntField("ret3"),
+            CharField("dummy", _dummy_width(params)),
+            OidListField("children", max(params.size_unit * 2, 4)),
+        ]
+    )
+
+
+def build_deep_database(
+    params: DeepParams, catalog: Optional[Catalog] = None
+) -> DeepDatabase:
+    """Build the hierarchy bottom-up and return a :class:`DeepDatabase`."""
+    params.validate()
+    rng = derive_rng(params.seed, stream=21)
+    catalog = catalog or Catalog(params.buffer_pages, params.page_size)
+    schema = make_level_schema(params)
+    dummy = pad_string("d", _dummy_width(params))
+
+    # children_for[k][i] = OID list of level-k object i (k < depth).
+    counts = [params.level_cardinality(k) for k in range(params.depth + 1)]
+    relations = []
+    for level in range(params.depth + 1):
+        relations.append(
+            catalog.create_btree("Level%dRel" % level, schema, "oid")
+        )
+
+    # Assign units level by level, top-down.
+    children_for: List[List[List[Oid]]] = []
+    for level in range(params.depth):
+        child_count = counts[level + 1]
+        child_rel_id = level + 1  # OID rel component = level index
+        keys = list(range(child_count))
+        rng.shuffle(keys)
+        units: List[List[Oid]] = []
+        usable = (child_count // params.size_unit) * params.size_unit
+        for start in range(0, usable, params.size_unit):
+            unit_keys = sorted(keys[start : start + params.size_unit])
+            units.append([Oid(child_rel_id, k) for k in unit_keys])
+        if not units:
+            raise WorkloadError("level %d has no units" % (level + 1))
+        pool = []
+        for index in range(len(units)):
+            pool.extend([index] * params.use_factor)
+        while len(pool) < counts[level]:
+            pool.append(rng.randrange(len(units)))
+        rng.shuffle(pool)
+        children_for.append([units[pool[i]] for i in range(counts[level])])
+
+    for level in range(params.depth + 1):
+        records = []
+        for key in range(counts[level]):
+            children = (
+                children_for[level][key] if level < params.depth else []
+            )
+            records.append(
+                (
+                    key,
+                    rng.randrange(_RET_RANGE),
+                    rng.randrange(_RET_RANGE),
+                    rng.randrange(_RET_RANGE),
+                    dummy,
+                    list(children),
+                )
+            )
+        relations[level].bulk_load(records)
+
+    db = DeepDatabase(catalog, relations)
+    db.start_measurement(cold=True)
+    return db

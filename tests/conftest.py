@@ -1,0 +1,49 @@
+"""Shared fixtures: small catalogs, parameter points and built databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.catalog import Catalog
+from repro.storage.record import CharField, IntField, Schema
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    """A catalog with a modest buffer pool."""
+    return Catalog(buffer_pages=16, page_size=2048)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    """(key, value, tag) — a generic three-field schema for storage tests."""
+    return Schema([IntField("key"), IntField("value"), CharField("tag", 32)])
+
+
+@pytest.fixture
+def tiny_params() -> WorkloadParams:
+    """A fast parameter point: 200 parents, ShareFactor 5."""
+    return WorkloadParams(
+        num_parents=200,
+        use_factor=5,
+        overlap_factor=1,
+        num_top=10,
+        num_queries=10,
+        size_cache=20,
+        buffer_pages=12,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_db(tiny_params):
+    """A tiny database with both clustering and caching available."""
+    return build_database(tiny_params, clustering=True, cache=True)
+
+
+@pytest.fixture
+def tiny_db_plain(tiny_params):
+    """A tiny database with neither clustering nor caching."""
+    return build_database(tiny_params)

@@ -1,0 +1,133 @@
+"""Clustering: assignment semantics and the ClusterRel store."""
+
+import random
+
+import pytest
+
+from repro.core.clustering import assign_clusters
+from repro.core.database import Unit
+from repro.core.oid import Oid
+from repro.errors import KeyNotFoundError
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+
+
+def unit(uid, keys, parents, rel=0):
+    return Unit(uid, rel, tuple(keys), tuple(parents))
+
+
+class TestAssignment:
+    def test_share_factor_one_clusters_everything_home(self):
+        units = [unit(0, [0, 1], [0]), unit(1, [2, 3], [1])]
+        assignment = assign_clusters(units, random.Random(1))
+        assert assignment.home_parent == {
+            (0, 0): 0,
+            (0, 1): 0,
+            (0, 2): 1,
+            (0, 3): 1,
+        }
+
+    def test_shared_unit_gets_one_home(self):
+        units = [unit(0, [0, 1], [4, 7, 9])]
+        assignment = assign_clusters(units, random.Random(1))
+        homes = set(assignment.home_parent.values())
+        assert len(homes) == 1
+        assert homes.pop() in (4, 7, 9)
+
+    def test_overlap_splits_units(self):
+        # Two units share subobject 1; whichever is treated first claims it.
+        units = [unit(0, [0, 1], [0]), unit(1, [1, 2], [1])]
+        assignment = assign_clusters(units, random.Random(1))
+        assert assignment.num_placed == 3  # each subobject placed once
+        all_claimed = [ref for refs in assignment.claimed.values() for ref in refs]
+        assert sorted(all_claimed) == [(0, 0), (0, 1), (0, 2)]
+
+    def test_unreferenced_unit_skipped(self):
+        units = [unit(0, [0, 1], [])]
+        assignment = assign_clusters(units, random.Random(1))
+        assert assignment.num_placed == 0
+
+    def test_claimed_lists_sorted(self):
+        units = [unit(0, [5, 2, 9], [3])]
+        assignment = assign_clusters(units, random.Random(1))
+        assert assignment.claimed[3] == [(0, 2), (0, 5), (0, 9)]
+
+
+@pytest.fixture(scope="module")
+def clustered_db():
+    params = WorkloadParams(
+        num_parents=200,
+        use_factor=5,
+        overlap_factor=1,
+        size_cache=20,
+        buffer_pages=12,
+        seed=11,
+    )
+    return params, build_database(params, clustering=True)
+
+
+class TestClusterStore:
+    def test_every_subobject_indexed(self, clustered_db):
+        params, db = clustered_db
+        cluster = db.cluster
+        total_children = sum(rel.num_records for rel in db.child_rels)
+        assert cluster.oid_index.num_entries == total_children
+
+    def test_cluster_rel_holds_everything(self, clustered_db):
+        params, db = clustered_db
+        expected = db.num_parents + sum(r.num_records for r in db.child_rels)
+        assert db.cluster.relation.num_records == expected
+
+    def test_parent_records_keep_children_lists(self, clustered_db):
+        params, db = clustered_db
+        records = list(db.cluster.scan_parent_range(0, 0))
+        parents = [r for r in records if db.cluster.is_parent_record(r)]
+        assert len(parents) == 1
+        assert len(db.cluster.children_of(parents[0])) == params.size_unit
+
+    def test_scan_range_covers_requested_clusters(self, clustered_db):
+        params, db = clustered_db
+        records = list(db.cluster.scan_parent_range(10, 19))
+        parents = [r for r in records if db.cluster.is_parent_record(r)]
+        assert len(parents) == 10
+        keys = [db.cluster.oid_of(r).key for r in parents]
+        assert keys == list(range(10, 20))
+
+    def test_fetch_subobject(self, clustered_db):
+        params, db = clustered_db
+        parent = db.fetch_parent(0)
+        oid = db.children_of(parent)[0]
+        record = db.cluster.fetch_subobject(oid.rel - 1, oid.key)
+        assert db.cluster.oid_of(record) == oid
+
+    def test_fetch_missing_subobject(self, clustered_db):
+        params, db = clustered_db
+        with pytest.raises(KeyNotFoundError):
+            db.cluster.fetch_subobject(0, 10**8)
+
+    def test_update_subobject_in_place(self, clustered_db):
+        params, db = clustered_db
+        parent = db.fetch_parent(0)
+        oid = db.children_of(parent)[0]
+        db.cluster.update_subobject(oid.rel - 1, oid.key, "ret1", 424242)
+        record = db.cluster.fetch_subobject(oid.rel - 1, oid.key)
+        assert record[2] == 424242
+
+    def test_clustered_children_physically_near_parent(self, clustered_db):
+        """At ShareFactor 5 with Overlap 1, each unit is wholly clustered
+        with one of its parents — its children share that cluster."""
+        params, db = clustered_db
+        cluster = db.cluster
+        home_count = 0
+        for parent_key in range(db.num_parents):
+            records = list(cluster.scan_parent_range(parent_key, parent_key))
+            parent = next(r for r in records if cluster.is_parent_record(r))
+            co_located = {cluster.oid_of(r) for r in records if r is not parent}
+            children = set(cluster.children_of(parent))
+            if children <= co_located:
+                home_count += 1
+            else:
+                # Not home: then NONE of its children are here (the unit
+                # lives intact elsewhere).
+                assert not (children & co_located)
+        assert home_count == db.num_parents // params.use_factor

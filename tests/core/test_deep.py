@@ -1,0 +1,131 @@
+"""Multi-level hierarchies and transitive query processing."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.deep import (
+    DeepQuery,
+    deep_bfs,
+    deep_dfs,
+    deep_reference_values,
+)
+from repro.core.measure import CostMeter
+from repro.errors import QueryError, WorkloadError
+from repro.workload.deepgen import DeepParams, build_deep_database
+
+
+@pytest.fixture(scope="module")
+def deep_db():
+    params = DeepParams(
+        num_roots=250, depth=3, size_unit=4, use_factor=4, buffer_pages=12, seed=9
+    )
+    return params, build_deep_database(params)
+
+
+class TestDeepParams:
+    def test_cardinalities_follow_recursion(self):
+        params = DeepParams(num_roots=1000, size_unit=5, use_factor=5)
+        assert params.level_cardinality(0) == 1000
+        assert params.level_cardinality(1) == 1000
+        params = DeepParams(num_roots=1000, size_unit=6, use_factor=3)
+        assert params.level_cardinality(1) == 2000
+
+    def test_dying_hierarchy_rejected(self):
+        with pytest.raises(WorkloadError):
+            DeepParams(num_roots=20, depth=4, size_unit=2, use_factor=8).validate()
+
+    def test_replace_validates(self):
+        with pytest.raises(WorkloadError):
+            DeepParams().replace(depth=0)
+
+
+class TestStructure:
+    def test_level_count(self, deep_db):
+        params, db = deep_db
+        assert db.depth == 3
+        assert len(db.levels) == 4
+
+    def test_leaf_level_has_no_children(self, deep_db):
+        params, db = deep_db
+        for record in db.levels[-1].range_scan(0, 10):
+            assert db.children_of(record) == []
+
+    def test_inner_levels_reference_next_level(self, deep_db):
+        params, db = deep_db
+        for level in range(db.depth):
+            record = db.levels[level].lookup_one(0)
+            for oid in db.children_of(record):
+                assert oid.rel == level + 1
+                assert db.levels[level + 1].contains(oid.key)
+
+
+class TestQueries:
+    def test_query_validation(self):
+        with pytest.raises(QueryError):
+            DeepQuery(5, 4, 1)
+        with pytest.raises(QueryError):
+            DeepQuery(0, 1, 0)
+
+    def test_depth_bounded_by_database(self, deep_db):
+        params, db = deep_db
+        with pytest.raises(QueryError):
+            deep_dfs(db, DeepQuery(0, 1, 4))
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_dfs_matches_reference(self, deep_db, depth):
+        params, db = deep_db
+        query = DeepQuery(3, 9, depth, "ret2")
+        assert Counter(deep_dfs(db, query)) == Counter(
+            deep_reference_values(db, query)
+        )
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_bfs_matches_reference(self, deep_db, depth):
+        params, db = deep_db
+        query = DeepQuery(3, 9, depth, "ret3")
+        assert Counter(deep_bfs(db, query)) == Counter(
+            deep_reference_values(db, query)
+        )
+
+    def test_bfs_dedup_returns_distinct_leaf_values(self, deep_db):
+        params, db = deep_db
+        query = DeepQuery(0, 30, 3, "ret1")
+        dedup = deep_bfs(db, query, dedup=True)
+        full = deep_bfs(db, query, dedup=False)
+        assert set(dedup) == set(full)
+        assert len(dedup) <= len(full)
+
+
+class TestCosts:
+    def test_dfs_explodes_with_depth(self, deep_db):
+        params, db = deep_db
+        costs = []
+        for depth in (1, 2, 3):
+            db.start_measurement()
+            meter = CostMeter(db.disk)
+            deep_dfs(db, DeepQuery(0, 9, depth), meter)
+            costs.append(meter.total_cost)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_bfs_beats_dfs_at_depth(self, deep_db):
+        params, db = deep_db
+        query = DeepQuery(0, 40, 3)
+        db.start_measurement()
+        dfs_meter = CostMeter(db.disk)
+        deep_dfs(db, query, dfs_meter)
+        db.start_measurement()
+        bfs_meter = CostMeter(db.disk)
+        deep_bfs(db, query, bfs_meter)
+        assert bfs_meter.total_cost < dfs_meter.total_cost
+
+    def test_nodup_never_worse_than_bfs_by_much(self, deep_db):
+        params, db = deep_db
+        query = DeepQuery(0, 40, 3)
+        db.start_measurement()
+        bfs_meter = CostMeter(db.disk)
+        deep_bfs(db, query, bfs_meter)
+        db.start_measurement()
+        nodup_meter = CostMeter(db.disk)
+        deep_bfs(db, query, nodup_meter, dedup=True)
+        assert nodup_meter.total_cost <= bfs_meter.total_cost + 2

@@ -1,0 +1,60 @@
+"""EXPLAIN output."""
+
+import pytest
+
+from repro.core.explain import explain
+from repro.core.queries import RetrieveQuery
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def query():
+    return RetrieveQuery(0, 49, "ret2")
+
+
+class TestExplain:
+    def test_unknown_strategy(self, tiny_db, query):
+        with pytest.raises(QueryError):
+            explain("NOPE", tiny_db, query)
+
+    @pytest.mark.parametrize(
+        "name,needle",
+        [
+            ("DFS", "iterative substitution"),
+            ("BFS", "merge join"),
+            ("BFSNODUP", "duplicate elimination"),
+            ("DFSCACHE", "outside value cache"),
+            ("DFSCLUST", "ClusterRel"),
+            ("DFSCACHE-INSIDE", "inside"),
+        ],
+    )
+    def test_plan_mentions_mechanism(self, tiny_db, query, name, needle):
+        text = explain(name, tiny_db, query)
+        assert needle in text
+        assert "ParentRel" in text or "ClusterRel" in text
+
+    def test_smart_picks_arm_by_threshold(self, tiny_db):
+        small = explain("SMART", tiny_db, RetrieveQuery(0, 5, "ret1"), threshold=50)
+        large = explain("SMART", tiny_db, RetrieveQuery(0, 199, "ret1"), threshold=50)
+        assert "DFSCACHE arm" in small
+        assert "cache-aware BFS arm" in large
+
+    def test_opt_shows_estimates_and_choice(self, tiny_db, query):
+        text = explain("OPT", tiny_db, query)
+        assert "est DFS child cost" in text
+        assert "chosen plan" in text
+
+    def test_proc_plans(self, tiny_params, query):
+        from repro.workload.generator import build_database
+
+        db = build_database(tiny_params, cache=True, procedural=True)
+        for name in ("PROC-EXEC", "PROC-CACHE-OIDS", "PROC-CACHE-VALUES"):
+            text = explain(name, db, query)
+            assert "stored query" in text
+        assert "answered from Cache" in explain("PROC-CACHE-VALUES", db, query)
+
+    def test_numbers_reflect_query_size(self, tiny_db):
+        small = explain("BFS", tiny_db, RetrieveQuery(0, 0, "ret1"))
+        large = explain("BFS", tiny_db, RetrieveQuery(0, 199, "ret1"))
+        assert "~1 tuples" in small
+        assert "~200 tuples" in large

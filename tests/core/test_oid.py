@@ -1,0 +1,48 @@
+"""OIDs: encode/decode, ordering, bounds."""
+
+import pytest
+
+from repro.core.oid import KEY_SPACE, Oid
+
+
+class TestRoundtrip:
+    def test_encode_decode(self):
+        oid = Oid(3, 12345)
+        assert Oid.decode(oid.encode()) == oid
+
+    def test_zero(self):
+        assert Oid.decode(Oid(0, 0).encode()) == Oid(0, 0)
+
+    def test_max_key(self):
+        oid = Oid(1, KEY_SPACE - 1)
+        assert Oid.decode(oid.encode()) == oid
+
+
+class TestOrdering:
+    def test_encoded_order_matches_rel_then_key(self):
+        oids = [Oid(2, 1), Oid(1, 999), Oid(1, 5), Oid(0, 42)]
+        encoded = sorted(o.encode() for o in oids)
+        assert [Oid.decode(e) for e in encoded] == sorted(oids)
+
+
+class TestBounds:
+    def test_key_too_large(self):
+        with pytest.raises(ValueError):
+            Oid(0, KEY_SPACE).encode()
+
+    def test_negative_key(self):
+        with pytest.raises(ValueError):
+            Oid(0, -1).encode()
+
+    def test_negative_rel(self):
+        with pytest.raises(ValueError):
+            Oid(-1, 0).encode()
+
+    def test_negative_decode(self):
+        with pytest.raises(ValueError):
+            Oid.decode(-5)
+
+
+class TestDisplay:
+    def test_str(self):
+        assert str(Oid(2, 7)) == "2.7"

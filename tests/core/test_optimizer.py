@@ -1,0 +1,86 @@
+"""The OPT strategy: per-query cost-based DFS/BFS selection."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.measure import CostMeter
+from repro.core.queries import RetrieveQuery
+from repro.core.strategies import make_strategy
+from repro.core.strategies.optimizer import OptStrategy, pages_touched
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def opt_db():
+    params = WorkloadParams(
+        num_parents=1000,
+        use_factor=1,  # big ChildRel: the DFS/BFS gap is pronounced
+        num_top=10,
+        buffer_pages=12,
+        size_cache=10,
+        seed=3,
+    )
+    return params, build_database(params)
+
+
+class TestCardenas:
+    def test_bounds(self):
+        assert pages_touched(0, 100) == 0
+        assert pages_touched(100, 0) == 0
+        assert 0 < pages_touched(50, 100) < 50
+        assert pages_touched(10**6, 100) == pytest.approx(100, rel=1e-3)
+
+    def test_monotone_in_keys(self):
+        values = [pages_touched(k, 200) for k in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestDecisions:
+    def test_small_query_picks_dfs(self, opt_db):
+        params, db = opt_db
+        opt = OptStrategy()
+        assert opt.estimate(db, RetrieveQuery(0, 0, "ret1")).choice == "DFS"
+
+    def test_large_query_picks_bfs(self, opt_db):
+        params, db = opt_db
+        opt = OptStrategy()
+        assert opt.estimate(db, RetrieveQuery(0, 999, "ret1")).choice == "BFS"
+
+    def test_decisions_recorded(self, opt_db):
+        params, db = opt_db
+        opt = OptStrategy()
+        opt.retrieve(db, RetrieveQuery(0, 0, "ret1"))
+        opt.retrieve(db, RetrieveQuery(0, 999, "ret1"))
+        assert opt.decisions == ["DFS", "BFS"]
+
+    def test_estimation_costs_no_io(self, opt_db):
+        params, db = opt_db
+        db.start_measurement()
+        OptStrategy().estimate(db, RetrieveQuery(0, 500, "ret1"))
+        assert db.disk.snapshot().total == 0
+
+
+class TestResultsAndCosts:
+    def test_matches_reference_results(self, opt_db):
+        params, db = opt_db
+        for lo, hi in [(0, 0), (10, 59), (0, 999)]:
+            query = RetrieveQuery(lo, hi, "ret2")
+            opt = Counter(make_strategy("OPT").retrieve(db, query))
+            dfs = Counter(make_strategy("DFS").retrieve(db, query))
+            assert opt == dfs
+
+    def test_never_much_worse_than_either_plan(self, opt_db):
+        """OPT must track min(DFS, BFS) across the NumTop range."""
+        params, db = opt_db
+        for num_top in (1, 20, 200, 1000):
+            query = RetrieveQuery(0, num_top - 1, "ret1")
+            costs = {}
+            for name in ("DFS", "BFS", "OPT"):
+                db.start_measurement()
+                meter = CostMeter(db.disk)
+                make_strategy(name).retrieve(db, query, meter)
+                costs[name] = meter.total_cost
+            best = min(costs["DFS"], costs["BFS"])
+            assert costs["OPT"] <= best * 1.25 + 5, (num_top, costs)

@@ -1,0 +1,143 @@
+"""Procedural primary representation and its cached variants."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.measure import CostMeter
+from repro.core.queries import RetrieveQuery, UpdateQuery
+from repro.core.strategies import make_strategy, procedure_hashkey
+from repro.errors import QueryError, WorkloadError
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+
+PROC_STRATEGIES = ("PROC-EXEC", "PROC-CACHE-OIDS", "PROC-CACHE-VALUES")
+
+
+@pytest.fixture(scope="module")
+def proc_db():
+    params = WorkloadParams(
+        num_parents=200,
+        use_factor=5,
+        overlap_factor=1,
+        num_top=10,
+        size_cache=50,
+        buffer_pages=12,
+        seed=7,
+    )
+    return params, build_database(params, cache=True, procedural=True)
+
+
+def reference(db, query):
+    out = []
+    attr_index = db.child_schema.field_index(query.attr)
+    for parent in db.parents_in_range(query.lo, query.hi):
+        for oid in db.children_of(parent):
+            out.append(db.fetch_child(oid.rel - 1, oid.key)[attr_index])
+    return out
+
+
+class TestGeneration:
+    def test_procedures_present_for_every_parent(self, proc_db):
+        params, db = proc_db
+        assert set(db.procedures) == set(range(params.num_parents))
+
+    def test_procedure_evaluates_to_the_unit(self, proc_db):
+        params, db = proc_db
+        ret2 = db.child_schema.field_index("ret2")
+        for parent_key in range(0, params.num_parents, 23):
+            parent = db.fetch_parent(parent_key)
+            rel_index, lo, hi = db.procedure_for(parent_key)
+            by_query = {
+                child[0]
+                for child in db.child_rel(rel_index).scan()
+                if lo <= child[ret2] <= hi
+            }
+            by_oids = {oid.key for oid in db.children_of(parent)}
+            assert by_query == by_oids
+
+    def test_requires_overlap_one(self):
+        params = WorkloadParams(
+            num_parents=100, use_factor=1, overlap_factor=2, size_cache=10
+        )
+        with pytest.raises(WorkloadError):
+            build_database(params, procedural=True)
+
+    def test_plain_database_has_no_procedures(self, tiny_db_plain):
+        with pytest.raises(WorkloadError):
+            tiny_db_plain.procedure_for(0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", PROC_STRATEGIES)
+    @pytest.mark.parametrize("lo,hi", [(0, 0), (13, 37), (0, 199)])
+    def test_matches_oid_navigation(self, proc_db, name, lo, hi):
+        params, db = proc_db
+        query = RetrieveQuery(lo, hi, "ret3")
+        db.reset_cache()
+        got = make_strategy(name).retrieve(db, query)
+        assert Counter(got) == Counter(reference(db, query))
+
+    @pytest.mark.parametrize("name", ("PROC-CACHE-OIDS", "PROC-CACHE-VALUES"))
+    def test_cached_run_agrees_with_cold_run(self, proc_db, name):
+        params, db = proc_db
+        query = RetrieveQuery(0, 29, "ret1")
+        strategy = make_strategy(name)
+        db.reset_cache()
+        cold = Counter(strategy.retrieve(db, query))
+        warm = Counter(strategy.retrieve(db, query))
+        assert cold == warm
+
+    def test_update_visible_through_value_cache(self, proc_db):
+        params, db = proc_db
+        query = RetrieveQuery(0, 9, "ret1")
+        strategy = make_strategy("PROC-CACHE-VALUES")
+        db.reset_cache()
+        strategy.retrieve(db, query)  # populate
+        rel_index, keys = db.unit_ref_of(db.fetch_parent(3))
+        strategy.update(db, UpdateQuery(((rel_index, keys[0]),), 987654321))
+        got = strategy.retrieve(db, query)
+        assert 987654321 in got
+
+
+class TestPrerequisites:
+    def test_proc_strategies_need_procedures(self, tiny_db):
+        for name in PROC_STRATEGIES:
+            with pytest.raises(QueryError):
+                make_strategy(name).retrieve(tiny_db, RetrieveQuery(0, 5, "ret1"))
+
+    def test_cached_variants_need_cache(self, tiny_params):
+        db = build_database(tiny_params, procedural=True)
+        with pytest.raises(QueryError):
+            make_strategy("PROC-CACHE-VALUES").retrieve(
+                db, RetrieveQuery(0, 5, "ret1")
+            )
+        # PROC-EXEC needs no cache.
+        make_strategy("PROC-EXEC").retrieve(db, RetrieveQuery(0, 5, "ret1"))
+
+
+class TestCosts:
+    def test_exec_scans_child_relation(self, proc_db):
+        params, db = proc_db
+        db.start_measurement()
+        meter = CostMeter(db.disk)
+        make_strategy("PROC-EXEC").retrieve(db, RetrieveQuery(0, 4, "ret1"), meter)
+        # The batched evaluation reads at least the child relation once.
+        assert meter.child_cost >= db.child_rels[0].num_leaf_pages
+
+    def test_value_cache_hits_avoid_the_scan(self, proc_db):
+        params, db = proc_db
+        query = RetrieveQuery(10, 14, "ret1")
+        strategy = make_strategy("PROC-CACHE-VALUES")
+        db.reset_cache()
+        db.start_measurement()
+        strategy.retrieve(db, query)  # cold: pays the scan
+        db.start_measurement()
+        meter = CostMeter(db.disk)
+        strategy.retrieve(db, query, meter)
+        assert meter.child_cost < db.child_rels[0].num_leaf_pages / 2
+
+    def test_hashkey_is_a_function_of_the_query(self):
+        assert procedure_hashkey((0, 10, 14)) == procedure_hashkey((0, 10, 14))
+        assert procedure_hashkey((0, 10, 14)) != procedure_hashkey((0, 10, 15))
+        assert procedure_hashkey((0, 10, 14)) != procedure_hashkey((1, 10, 14))

@@ -1,0 +1,36 @@
+"""Logical query objects."""
+
+import pytest
+
+from repro.core.queries import RETRIEVE_ATTRS, RetrieveQuery, UpdateQuery
+
+
+class TestRetrieveQuery:
+    def test_num_top(self):
+        assert RetrieveQuery(5, 14, "ret1").num_top == 10
+        assert RetrieveQuery(3, 3, "ret2").num_top == 1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RetrieveQuery(10, 9, "ret1")
+
+    def test_attr_checked(self):
+        with pytest.raises(ValueError):
+            RetrieveQuery(0, 1, "dummy")
+        for attr in RETRIEVE_ATTRS:
+            RetrieveQuery(0, 1, attr)
+
+    def test_frozen(self):
+        query = RetrieveQuery(0, 1, "ret1")
+        with pytest.raises(AttributeError):
+            query.lo = 5
+
+
+class TestUpdateQuery:
+    def test_size(self):
+        update = UpdateQuery(((0, 1), (0, 2), (1, 3)), value=9)
+        assert update.size == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateQuery(())

@@ -1,0 +1,75 @@
+"""Figure 4 analysis helpers (region counts, face projections)."""
+
+import pytest
+
+from repro.experiments.fig4 import (
+    STRATEGIES,
+    face_summary,
+    region_counts,
+    winner_at,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def synthetic_result():
+    """A hand-built grid with known winners."""
+    headers = ["ShareFactor", "NumTop", "Pr(UPDATE)", "BFS", "DFSCACHE",
+               "DFSCLUST", "best"]
+    rows = [
+        [1, 1, 0.0, 10, 9, 2, "DFSCLUST"],
+        [1, 1, 0.9, 12, 15, 3, "DFSCLUST"],
+        [1, 100, 0.0, 50, 80, 9, "DFSCLUST"],
+        [1, 100, 0.9, 55, 90, 10, "DFSCLUST"],
+        [25, 1, 0.0, 8, 3, 4, "DFSCACHE"],
+        [25, 1, 0.9, 9, 12, 6, "DFSCLUST"],
+        [25, 100, 0.0, 20, 35, 60, "BFS"],
+        [25, 100, 0.9, 22, 70, 65, "BFS"],
+    ]
+    return ExperimentResult(name="fig4", title="t", headers=headers, rows=rows)
+
+
+class TestRegionCounts:
+    def test_counts_sum_to_grid(self, synthetic_result):
+        counts = region_counts(synthetic_result)
+        assert sum(counts.values()) == len(synthetic_result.rows)
+        assert counts["DFSCLUST"] == 5
+        assert counts["DFSCACHE"] == 1
+        assert counts["BFS"] == 2
+
+
+class TestWinnerAt:
+    def test_filters_by_any_subset(self, synthetic_result):
+        assert len(winner_at(synthetic_result, share_factor=1)) == 4
+        assert len(winner_at(synthetic_result, share_factor=25, num_top=100)) == 2
+        only = winner_at(
+            synthetic_result, share_factor=25, num_top=1, pr_update=0.0
+        )
+        assert len(only) == 1
+        assert only[0][-1] == "DFSCACHE"
+
+    def test_no_filters_returns_everything(self, synthetic_result):
+        assert len(winner_at(synthetic_result)) == 8
+
+
+class TestFaceSummary:
+    def test_faces_present_and_counted(self, synthetic_result):
+        summary = face_summary(synthetic_result)
+        assert set(summary) == {
+            "back (Pr->1)",
+            "front (Pr->0)",
+            "top (max SF)",
+            "back-left (NumTop->1)",
+        }
+        back = summary["back (Pr->1)"]
+        assert sum(back.values()) == 4  # four rows at pr=0.9
+        # Caching never wins on the back face of this grid.
+        assert back["DFSCACHE"] == 0
+
+    def test_front_face_contains_caching_win(self, synthetic_result):
+        front = face_summary(synthetic_result)["front (Pr->0)"]
+        assert front["DFSCACHE"] == 1
+
+    def test_every_strategy_key_present(self, synthetic_result):
+        for counts in face_summary(synthetic_result).values():
+            assert set(counts) == set(STRATEGIES)

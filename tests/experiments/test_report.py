@@ -1,0 +1,60 @@
+"""The report runner."""
+
+import os
+
+import pytest
+
+from repro.experiments import report
+
+
+class TestSuite:
+    def test_covers_every_figure_and_claim(self):
+        names = [name for name, _ in report.experiment_suite(scale=0.1)]
+        for expected in (
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig7",
+            "sec62",
+            "smart",
+            "deep",
+            "matrix",
+            "opt",
+            "ablation_cache_size",
+            "ablation_buffer",
+            "ablation_inside_outside",
+            "ablation_buffer_policy",
+        ):
+            assert expected in names
+
+    def test_annotate_adds_headlines(self):
+        from repro.experiments.runner import ExperimentResult
+
+        result = ExperimentResult(
+            name="fig3",
+            title="t",
+            headers=["NumTop", "DFS", "BFS", "BFSNODUP"],
+            rows=[[1, 5.0, 7.0, 8.0], [100, 50.0, 20.0, 21.0]],
+        )
+        text = report.annotate("fig3", result)
+        assert "BFS overtakes DFS" in text
+
+
+class TestMain:
+    def test_writes_requested_outputs(self, tmp_path, capsys):
+        code = report.main(
+            [
+                "--scale",
+                "0.05",
+                "--out",
+                str(tmp_path),
+                "--only",
+                "ablation_buffer_policy",
+            ]
+        )
+        assert code == 0
+        written = os.listdir(tmp_path)
+        assert written == ["ablation_buffer_policy.txt"]
+        out = capsys.readouterr().out
+        assert "A4" in out
+        assert "total:" in out

@@ -1,0 +1,118 @@
+"""Experiment machinery: adaptive query counts, database cache, results."""
+
+import pytest
+
+from repro.experiments.runner import (
+    DatabaseCache,
+    ExperimentResult,
+    adaptive_queries,
+    run_point,
+    scaled_num_tops,
+)
+from repro.workload.params import WorkloadParams
+
+
+class TestAdaptiveQueries:
+    def test_explicit_request_wins(self):
+        assert adaptive_queries(10000, requested=3) == 3
+
+    def test_small_num_top_gets_many_queries(self):
+        assert adaptive_queries(1) == 200
+
+    def test_large_num_top_gets_few(self):
+        assert adaptive_queries(10000) == 5
+
+    def test_monotone_nonincreasing(self):
+        counts = [adaptive_queries(n) for n in (1, 10, 100, 1000, 10000)]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestScaledNumTops:
+    def test_fractions_and_dedup(self):
+        params = WorkloadParams(num_parents=1000)
+        tops = scaled_num_tops(params, [0.0001, 0.001, 0.002, 1.0])
+        assert tops == [1, 2, 1000]  # 0.0001 and 0.001 both round to 1
+
+    def test_clamped_to_parents(self):
+        params = WorkloadParams(num_parents=100, num_top=1)
+        assert scaled_num_tops(params, [5.0]) == [100]
+
+
+class TestDatabaseCache:
+    def test_reuses_same_shape(self, tiny_params):
+        cache = DatabaseCache()
+        a = cache.get(tiny_params)
+        b = cache.get(tiny_params.replace(num_top=3))  # num_top is not shape
+        assert a is b
+
+    def test_distinguishes_shape_changes(self, tiny_params):
+        cache = DatabaseCache()
+        a = cache.get(tiny_params)
+        b = cache.get(tiny_params.replace(use_factor=2))
+        assert a is not b
+
+    def test_distinguishes_facilities(self, tiny_params):
+        cache = DatabaseCache()
+        plain = cache.get(tiny_params)
+        clustered = cache.get(tiny_params, clustering=True)
+        assert plain is not clustered
+        assert clustered.cluster is not None
+
+    def test_clear(self, tiny_params):
+        cache = DatabaseCache()
+        a = cache.get(tiny_params)
+        cache.clear()
+        assert cache.get(tiny_params) is not a
+
+
+class TestRunPoint:
+    def test_runs_any_registered_strategy(self, tiny_params):
+        cache = DatabaseCache()
+        for name in ("DFS", "BFS", "DFSCACHE", "DFSCLUST"):
+            report = run_point(tiny_params, name, cache, num_retrieves=3)
+            assert report.num_retrieves == 3
+
+    def test_inside_cache_strategy_supported(self, tiny_params):
+        report = run_point(tiny_params, "DFSCACHE-INSIDE", num_retrieves=3)
+        assert report.strategy == "DFSCACHE-INSIDE"
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="x",
+            title="T",
+            headers=["a", "b"],
+            rows=[[1, 2], [3, 4]],
+            notes=["n"],
+        )
+
+    def test_table_renders(self):
+        text = self.make().table()
+        assert "T" in text
+        assert "note: n" in text
+
+    def test_column(self):
+        assert self.make().column("b") == [2, 4]
+
+    def test_as_dicts(self):
+        assert self.make().as_dicts()[0] == {"a": 1, "b": 2}
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self):
+        result = ExperimentResult(
+            name="x", title="t", headers=["a", "b"], rows=[[1, 2.5], [3, "z"]]
+        )
+        lines = result.to_csv().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "3,z"
+
+    def test_write_csv(self, tmp_path):
+        result = ExperimentResult(
+            name="x", title="t", headers=["a"], rows=[[1]]
+        )
+        path = tmp_path / "out.csv"
+        result.write_csv(str(path))
+        assert path.read_text().splitlines() == ["a", "1"]

@@ -1,0 +1,57 @@
+"""Predicates."""
+
+import pytest
+
+from repro.query.expr import (
+    AndPredicate,
+    FieldBetween,
+    FieldEquals,
+    TruePredicate,
+)
+from repro.storage.record import CharField, IntField, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([IntField("age"), CharField("name", 20)])
+
+
+class TestFieldEquals:
+    def test_match(self, schema):
+        pred = FieldEquals(schema, "name", "Mary")
+        assert pred((62, "Mary"))
+        assert not pred((62, "John"))
+
+
+class TestFieldBetween:
+    def test_inclusive_bounds(self, schema):
+        pred = FieldBetween(schema, "age", 10, 20)
+        assert pred((10, "x"))
+        assert pred((20, "x"))
+        assert not pred((9, "x"))
+        assert not pred((21, "x"))
+
+    def test_open_bounds(self, schema):
+        assert FieldBetween(schema, "age", None, 15)((0, "x"))
+        assert FieldBetween(schema, "age", 60, None)((99, "x"))
+
+    def test_empty_range_rejected(self, schema):
+        with pytest.raises(ValueError):
+            FieldBetween(schema, "age", 20, 10)
+
+
+class TestCombinators:
+    def test_and(self, schema):
+        pred = FieldBetween(schema, "age", 60, None) & FieldEquals(
+            schema, "name", "Mary"
+        )
+        assert pred((62, "Mary"))
+        assert not pred((62, "John"))
+        assert not pred((30, "Mary"))
+
+    def test_and_requires_parts(self):
+        with pytest.raises(ValueError):
+            AndPredicate([])
+
+    def test_true_predicate(self, schema):
+        assert TruePredicate()((1, "anything"))

@@ -1,0 +1,95 @@
+"""Join operators against a B-tree inner."""
+
+import pytest
+
+from repro.query.join import iterative_substitution_join, merge_probe_join
+from repro.storage.record import CharField, IntField, Schema
+
+
+@pytest.fixture
+def inner(catalog):
+    schema = Schema([IntField("key"), IntField("value"), CharField("pad", 64)])
+    tree = catalog.create_btree("inner", schema, "key")
+    tree.bulk_load([(k, k * 10, "p" * 40) for k in range(0, 1000, 2)])
+    return tree
+
+
+class TestMergeProbeJoin:
+    def test_matches_in_order(self, inner):
+        out = list(merge_probe_join([2, 4, 6], inner))
+        assert [r[0] for r in out] == [2, 4, 6]
+
+    def test_missing_keys_skipped(self, inner):
+        out = list(merge_probe_join([1, 2, 3, 4], inner))
+        assert [r[0] for r in out] == [2, 4]
+
+    def test_duplicate_probe_keys_duplicate_output(self, inner):
+        out = list(merge_probe_join([2, 2, 2], inner))
+        assert [r[0] for r in out] == [2, 2, 2]
+
+    def test_projection(self, inner):
+        out = list(merge_probe_join([10, 20], inner, project=lambda r: r[1]))
+        assert out == [100, 200]
+
+    def test_empty_probe_stream(self, inner):
+        assert list(merge_probe_join([], inner)) == []
+
+    def test_sorted_probes_touch_each_leaf_once(self, catalog, inner):
+        catalog.pool.clear(flush=True)
+        catalog.disk.reset_counters()
+        keys = list(range(0, 1000, 2))
+        out = list(merge_probe_join(keys, inner))
+        assert len(out) == 500
+        # Reading every record sorted must cost at most one pass over the
+        # tree's pages (leaves + index).
+        assert catalog.disk.reads <= inner.num_pages
+
+    def test_non_unique_inner_yields_group(self, catalog):
+        schema = Schema([IntField("key"), IntField("value")])
+        tree = catalog.create_btree("multi", schema, "key", unique=False)
+        tree.bulk_load([(1, 1), (2, 21), (2, 22), (3, 3)])
+        out = list(merge_probe_join([2], tree))
+        assert sorted(r[1] for r in out) == [21, 22]
+
+
+class TestIterativeSubstitution:
+    def test_matches_any_order(self, inner):
+        out = list(iterative_substitution_join([6, 2, 4], inner))
+        assert [r[0] for r in out] == [6, 2, 4]
+
+    def test_projection_and_misses(self, inner):
+        out = list(
+            iterative_substitution_join([2, 3], inner, project=lambda r: r[1])
+        )
+        assert out == [20]
+
+    def test_same_results_as_merge_join(self, inner):
+        keys = [0, 2, 2, 500, 998]
+        merge = sorted(r[0] for r in merge_probe_join(sorted(keys), inner))
+        nested = sorted(r[0] for r in iterative_substitution_join(keys, inner))
+        assert merge == nested
+
+    def test_random_probes_cost_more_than_sorted(self, catalog):
+        # The inner must exceed the buffer pool for the access pattern to
+        # matter (a fully resident tree makes every plan free).
+        import random
+
+        schema = Schema([IntField("key"), CharField("pad", 128)])
+        tree = catalog.create_btree("big", schema, "key")
+        tree.bulk_load([(k, "p" * 100) for k in range(4000)])
+        assert tree.num_pages > catalog.pool.capacity
+
+        keys = list(range(0, 4000, 2))
+        catalog.pool.clear(flush=True)
+        catalog.disk.reset_counters()
+        list(merge_probe_join(keys, tree))
+        sorted_cost = catalog.disk.reads
+
+        rng = random.Random(0)
+        shuffled = keys[:]
+        rng.shuffle(shuffled)
+        catalog.pool.clear(flush=True)
+        catalog.disk.reset_counters()
+        list(iterative_substitution_join(shuffled, tree))
+        random_cost = catalog.disk.reads
+        assert random_cost > sorted_cost

@@ -1,0 +1,168 @@
+"""Buffer pool: LRU residency, dirty write-back, pinning."""
+
+import pytest
+
+from repro.errors import BufferPoolFullError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+@pytest.fixture
+def disk() -> DiskManager:
+    return DiskManager(page_size=256)
+
+
+def fill_file(disk, pages: int) -> int:
+    fid = disk.create_file()
+    for _ in range(pages):
+        disk.allocate_page(fid)
+    return fid
+
+
+class TestFetch:
+    def test_miss_then_hit(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=4)
+        fid = fill_file(disk, 1)
+        page = pool.fetch(PageId(fid, 0))
+        assert disk.reads == 1
+        pool.fetch(page.page_id)
+        assert disk.reads == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=2)
+        fid = fill_file(disk, 3)
+        pool.fetch(PageId(fid, 0))
+        pool.fetch(PageId(fid, 1))
+        pool.fetch(PageId(fid, 0))  # page 0 is now MRU
+        pool.fetch(PageId(fid, 2))  # evicts page 1
+        assert pool.is_resident(PageId(fid, 0))
+        assert not pool.is_resident(PageId(fid, 1))
+        assert pool.stats.evictions == 1
+
+    def test_clean_eviction_writes_nothing(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=1)
+        fid = fill_file(disk, 2)
+        pool.fetch(PageId(fid, 0))
+        pool.fetch(PageId(fid, 1))
+        assert disk.writes == 0
+
+    def test_dirty_eviction_writes_back(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=1)
+        fid = fill_file(disk, 2)
+        pool.fetch(PageId(fid, 0))
+        pool.mark_dirty(PageId(fid, 0))
+        pool.fetch(PageId(fid, 1))
+        assert disk.writes == 1
+        assert pool.stats.dirty_evictions == 1
+
+
+class TestNewPage:
+    def test_new_page_is_dirty_and_free(self, disk):
+        fid = disk.create_file()
+        pool = BufferPool(disk, capacity=2)
+        page = pool.new_page(fid)
+        assert disk.reads == 0
+        assert pool.is_dirty(page.page_id)
+
+    def test_new_page_written_on_eviction(self, disk):
+        fid = disk.create_file()
+        pool = BufferPool(disk, capacity=1)
+        pool.new_page(fid)
+        pool.new_page(fid)  # evicts the first, which is dirty
+        assert disk.writes == 1
+
+
+class TestPins:
+    def test_pinned_pages_survive(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=2)
+        fid = fill_file(disk, 3)
+        pool.fetch(PageId(fid, 0), pin=True)
+        pool.fetch(PageId(fid, 1))
+        pool.fetch(PageId(fid, 2))  # must evict page 1, not pinned page 0
+        assert pool.is_resident(PageId(fid, 0))
+
+    def test_all_pinned_raises(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=1)
+        fid = fill_file(disk, 2)
+        pool.fetch(PageId(fid, 0), pin=True)
+        with pytest.raises(BufferPoolFullError):
+            pool.fetch(PageId(fid, 1))
+
+    def test_unpin_allows_eviction(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=1)
+        fid = fill_file(disk, 2)
+        pool.fetch(PageId(fid, 0), pin=True)
+        pool.unpin(PageId(fid, 0))
+        pool.fetch(PageId(fid, 1))
+        assert pool.is_resident(PageId(fid, 1))
+
+    def test_unpin_without_pin_raises(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=2)
+        fid = fill_file(disk, 1)
+        pool.fetch(PageId(fid, 0))
+        with pytest.raises(ValueError):
+            pool.unpin(PageId(fid, 0))
+
+
+class TestMaintenance:
+    def test_flush_all_clears_dirty(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=4)
+        fid = fill_file(disk, 2)
+        pool.fetch(PageId(fid, 0))
+        pool.mark_dirty(PageId(fid, 0))
+        pool.flush_all()
+        assert disk.writes == 1
+        assert not pool.is_dirty(PageId(fid, 0))
+        pool.flush_all()  # idempotent
+        assert disk.writes == 1
+
+    def test_invalidate_file_discards_dirty(self, disk):
+        fid = disk.create_file()
+        pool = BufferPool(disk, capacity=4)
+        pool.new_page(fid)
+        pool.invalidate_file(fid)
+        assert disk.writes == 0
+        assert len(pool) == 0
+
+    def test_invalidate_file_with_flush(self, disk):
+        fid = disk.create_file()
+        pool = BufferPool(disk, capacity=4)
+        pool.new_page(fid)
+        pool.invalidate_file(fid, flush=True)
+        assert disk.writes == 1
+
+    def test_clear_flushes_by_default(self, disk):
+        fid = disk.create_file()
+        pool = BufferPool(disk, capacity=4)
+        pool.new_page(fid)
+        pool.clear()
+        assert disk.writes == 1
+        assert len(pool) == 0
+
+    def test_mark_dirty_requires_residency(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=2)
+        fid = fill_file(disk, 1)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(PageId(fid, 0))

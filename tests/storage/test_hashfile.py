@@ -1,0 +1,128 @@
+"""Hash files: static buckets, overflow chains, deletes, stable hashing."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.storage.hashfile import HashFile, stable_hash
+from repro.storage.record import CharField, IntField, Schema
+
+
+@pytest.fixture
+def hashfile(catalog):
+    schema = Schema([IntField("key"), CharField("payload", 256)])
+    return catalog.create_hash("hf", schema, "key", buckets=8)
+
+
+class TestStableHash:
+    def test_int_identity_like(self):
+        assert stable_hash(42) == 42
+        assert stable_hash(-1) >= 0
+
+    def test_str_deterministic(self):
+        assert stable_hash("elders") == stable_hash("elders")
+        assert stable_hash("elders") != stable_hash("children")
+
+    def test_tuple_composes(self):
+        assert stable_hash((1, 2)) == stable_hash((1, 2))
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_bool_and_bad_type(self):
+        assert stable_hash(True) == 1
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+
+
+class TestBasics:
+    def test_roundtrip(self, hashfile):
+        hashfile.insert((1, "one"))
+        assert hashfile.lookup(1) == (1, "one")
+        assert hashfile.contains(1)
+
+    def test_missing_key(self, hashfile):
+        assert hashfile.lookup(99) is None
+
+    def test_duplicate_rejected(self, hashfile):
+        hashfile.insert((1, "a"))
+        with pytest.raises(DuplicateKeyError):
+            hashfile.insert((1, "b"))
+
+    def test_upsert_replaces(self, hashfile):
+        hashfile.insert((1, "a"))
+        hashfile.upsert((1, "b"))
+        assert hashfile.lookup(1) == (1, "b")
+        assert len(hashfile) == 1
+
+    def test_scan_sees_everything(self, hashfile):
+        for k in range(50):
+            hashfile.insert((k, "v%d" % k))
+        assert sorted(r[0] for r in hashfile.scan()) == list(range(50))
+
+    def test_primary_pages_allocated_eagerly(self, hashfile):
+        assert hashfile.num_pages == 8
+
+
+class TestOverflow:
+    def fill(self, hashfile, n=200):
+        for k in range(n):
+            hashfile.insert((k, "x" * 100))
+
+    def test_overflow_chains_grow(self, hashfile):
+        self.fill(hashfile)
+        assert hashfile.overflow_pages() > 0
+        assert max(hashfile.chain_length(b) for b in range(8)) > 1
+
+    def test_lookup_traverses_chains(self, hashfile):
+        self.fill(hashfile)
+        for k in range(0, 200, 17):
+            assert hashfile.lookup(k) == (k, "x" * 100)
+
+    def test_delete_from_chain(self, hashfile):
+        self.fill(hashfile)
+        hashfile.delete(100)
+        assert hashfile.lookup(100) is None
+        assert len(hashfile) == 199
+
+    def test_empty_overflow_pages_recycled(self, hashfile):
+        self.fill(hashfile)
+        pages_before = hashfile.num_pages
+        for k in range(200):
+            hashfile.delete(k)
+        self.fill(hashfile)
+        assert hashfile.num_pages == pages_before  # free list reused
+
+
+class TestDelete:
+    def test_delete_returns_record(self, hashfile):
+        hashfile.insert((5, "five"))
+        assert hashfile.delete(5) == (5, "five")
+        assert not hashfile.contains(5)
+
+    def test_delete_missing_raises(self, hashfile):
+        with pytest.raises(KeyNotFoundError):
+            hashfile.delete(5)
+
+    def test_delete_if_present(self, hashfile):
+        hashfile.insert((5, "five"))
+        assert hashfile.delete_if_present(5)
+        assert not hashfile.delete_if_present(5)
+
+    def test_truncate(self, hashfile):
+        for k in range(100):
+            hashfile.insert((k, "v"))
+        hashfile.truncate()
+        assert len(hashfile) == 0
+        assert list(hashfile.scan()) == []
+        hashfile.insert((1, "back"))
+        assert hashfile.lookup(1) == (1, "back")
+
+
+class TestIoBehaviour:
+    def test_lookup_cost_bounded_by_chain(self, catalog, hashfile):
+        for k in range(50):
+            hashfile.insert((k, "v" * 50))
+        catalog.pool.clear(flush=True)
+        catalog.disk.reset_counters()
+        hashfile.lookup(7)
+        assert catalog.disk.reads <= hashfile.chain_length(
+            stable_hash(7) % hashfile.buckets
+        )

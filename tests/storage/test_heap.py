@@ -1,0 +1,112 @@
+"""Heap files: append, scan, update, lifecycle, I/O behaviour."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.heap import HeapFile, RecordId
+
+
+@pytest.fixture
+def heap(catalog, simple_schema):
+    return HeapFile(catalog.pool, simple_schema, "h")
+
+
+def rec(i: int):
+    return (i, i * 10, "tag%d" % i)
+
+
+class TestInsertScan:
+    def test_roundtrip(self, heap):
+        rid = heap.insert(rec(1))
+        assert heap.fetch(rid) == rec(1)
+
+    def test_scan_preserves_order(self, heap):
+        for i in range(50):
+            heap.insert(rec(i))
+        assert list(heap.scan()) == [rec(i) for i in range(50)]
+        assert heap.num_records == 50
+
+    def test_fills_pages_sequentially(self, heap):
+        for i in range(200):
+            heap.insert(rec(i))
+        assert heap.num_pages > 1
+        # Records per page should be near capacity for ~20-byte records.
+        assert heap.num_pages < 10
+
+    def test_insert_validates(self, heap):
+        from repro.errors import RecordError
+
+        with pytest.raises(RecordError):
+            heap.insert((1, 2))
+
+    def test_insert_many(self, heap):
+        assert heap.insert_many(rec(i) for i in range(7)) == 7
+        assert len(heap) == 7
+
+    def test_scan_with_rids(self, heap):
+        heap.insert(rec(0))
+        heap.insert(rec(1))
+        pairs = list(heap.scan_with_rids())
+        assert pairs[0][0] == RecordId(0, 0)
+        assert pairs[1][1] == rec(1)
+
+    def test_select(self, heap):
+        for i in range(10):
+            heap.insert(rec(i))
+        out = list(heap.select(lambda r: r[0] % 2 == 0))
+        assert [r[0] for r in out] == [0, 2, 4, 6, 8]
+
+
+class TestUpdate:
+    def test_update_in_place(self, heap):
+        rid = heap.insert(rec(1))
+        heap.update(rid, (1, 99, "tag1"))
+        assert heap.fetch(rid)[1] == 99
+
+    def test_update_bad_rid(self, heap):
+        heap.insert(rec(1))
+        with pytest.raises(StorageError):
+            heap.update(RecordId(0, 5), rec(1))
+
+    def test_fetch_bad_rid(self, heap):
+        heap.insert(rec(1))
+        with pytest.raises(StorageError):
+            heap.fetch(RecordId(0, 5))
+
+
+class TestLifecycle:
+    def test_truncate(self, heap):
+        for i in range(100):
+            heap.insert(rec(i))
+        heap.truncate()
+        assert heap.num_records == 0
+        assert heap.num_pages == 0
+        assert list(heap.scan()) == []
+        heap.insert(rec(1))  # still usable
+        assert len(heap) == 1
+
+    def test_drop_discards_dirty_pages_free(self, catalog, simple_schema):
+        before = catalog.disk.writes
+        heap = HeapFile(catalog.pool, simple_schema, "scratch")
+        for i in range(100):
+            heap.insert(rec(i))
+        heap.drop()
+        assert catalog.disk.writes == before  # scratch data never written
+
+
+class TestIoAccounting:
+    def test_inserts_cost_no_reads_on_fresh_pages(self, catalog, simple_schema):
+        heap = HeapFile(catalog.pool, simple_schema, "io")
+        catalog.disk.reset_counters()
+        for i in range(30):
+            heap.insert(rec(i))
+        assert catalog.disk.reads == 0  # tail page stays buffered
+
+    def test_scan_reads_each_page_once_when_cold(self, catalog, simple_schema):
+        heap = HeapFile(catalog.pool, simple_schema, "io2")
+        for i in range(500):
+            heap.insert(rec(i))
+        catalog.pool.clear(flush=True)
+        catalog.disk.reset_counters()
+        list(heap.scan())
+        assert catalog.disk.reads == heap.num_pages

@@ -1,0 +1,97 @@
+"""ISAM indexes: static build, probes, overflow chaining."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
+from repro.storage.isam import IsamIndex
+
+
+@pytest.fixture
+def index(catalog):
+    isam = IsamIndex(catalog.pool, "idx")
+    isam.build([(k, k * 100) for k in range(0, 2000, 2)])
+    return isam
+
+
+class TestBuild:
+    def test_requires_strictly_sorted(self, catalog):
+        isam = IsamIndex(catalog.pool)
+        with pytest.raises(StorageError):
+            isam.build([(2, 0), (1, 0)])
+        isam2 = IsamIndex(catalog.pool, "dup")
+        with pytest.raises(StorageError):
+            isam2.build([(1, 0), (1, 1)])
+
+    def test_double_build_rejected(self, index):
+        with pytest.raises(StorageError):
+            index.build([(1, 1)])
+
+    def test_spans_multiple_pages(self, index):
+        assert index.num_pages > 1
+        assert index.num_entries == 1000
+
+
+class TestLookup:
+    def test_hits(self, index):
+        assert index.lookup(0) == 0
+        assert index.lookup(1000) == 100000
+        assert index.lookup(1998) == 199800
+
+    def test_miss_raises(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.lookup(3)
+
+    def test_get_with_default(self, index):
+        assert index.get(3, default=-1) == -1
+        assert index.get(4) == 400
+
+    def test_key_below_first(self, index):
+        assert index.get(-5) is None
+
+    def test_empty_index(self, catalog):
+        isam = IsamIndex(catalog.pool)
+        isam.build([])
+        assert isam.get(1) is None
+
+
+class TestInsertOverflow:
+    def test_insert_before_build_rejected(self, catalog):
+        isam = IsamIndex(catalog.pool)
+        with pytest.raises(StorageError):
+            isam.insert(1, 1)
+
+    def test_insert_into_gap(self, index):
+        index.insert(3, 300)
+        assert index.lookup(3) == 300
+
+    def test_duplicate_insert_rejected(self, index):
+        with pytest.raises(DuplicateKeyError):
+            index.insert(4, 0)
+
+    def test_overflow_pages_appear_when_full(self, index):
+        # Primary pages were packed full at build; inserts must overflow.
+        for k in range(1, 400, 2):
+            index.insert(k, k)
+        assert index.overflow_pages() > 0
+        for k in range(1, 400, 2):
+            assert index.lookup(k) == k
+
+    def test_scan_sees_overflow_entries(self, index):
+        index.insert(3, 300)
+        entries = dict(index.scan())
+        assert entries[3] == 300
+        assert len(entries) == index.num_entries
+
+
+class TestIoBehaviour:
+    def test_probe_costs_one_page_when_cold(self, catalog, index):
+        catalog.pool.clear(flush=True)
+        catalog.disk.reset_counters()
+        index.lookup(1000)
+        assert catalog.disk.reads == 1
+
+    def test_repeated_probe_is_free(self, catalog, index):
+        index.lookup(1000)
+        catalog.disk.reset_counters()
+        index.lookup(1000)
+        assert catalog.disk.reads == 0

@@ -1,0 +1,75 @@
+"""The workload advisor."""
+
+import pytest
+
+from repro.advisor import (
+    DEFAULT_CANDIDATES,
+    Recommendation,
+    WorkloadSketch,
+    recommend,
+)
+from repro.errors import WorkloadError
+
+
+class TestSketchValidation:
+    def test_defaults_valid(self):
+        WorkloadSketch().validate()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"use_factor": 0},
+            {"overlap_factor": 0},
+            {"num_top_fraction": 0},
+            {"num_top_fraction": 1.5},
+            {"pr_update": 1.0},
+        ],
+    )
+    def test_bad_sketches_rejected(self, changes):
+        import dataclasses
+
+        sketch = dataclasses.replace(WorkloadSketch(), **changes)
+        with pytest.raises(WorkloadError):
+            sketch.validate()
+
+    def test_share_factor(self):
+        assert WorkloadSketch(use_factor=3, overlap_factor=2).share_factor == 6
+
+
+class TestRecommendations:
+    def test_private_subobjects_favour_clustering(self):
+        sketch = WorkloadSketch(use_factor=1, num_top_fraction=0.005)
+        rec = recommend(sketch, scale=0.05, num_retrieves=15)
+        assert rec.winner == "DFSCLUST"
+
+    def test_full_scans_favour_bfs(self):
+        sketch = WorkloadSketch(use_factor=5, num_top_fraction=0.5)
+        rec = recommend(sketch, scale=0.05, num_retrieves=8)
+        assert rec.winner == "BFS"
+
+    def test_ranking_sorted_and_complete(self):
+        rec = recommend(WorkloadSketch(), scale=0.05, num_retrieves=10)
+        names = [name for name, _ in rec.ranking()]
+        assert set(names) == set(DEFAULT_CANDIDATES)
+        costs = [cost for _, cost in rec.ranking()]
+        assert costs == sorted(costs)
+
+    def test_custom_candidates(self):
+        rec = recommend(
+            WorkloadSketch(), candidates=("DFS", "BFS"), scale=0.05,
+            num_retrieves=10,
+        )
+        assert set(rec.costs) == {"DFS", "BFS"}
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(WorkloadError):
+            recommend(WorkloadSketch(), candidates=())
+
+    def test_str_mentions_winner(self):
+        rec = recommend(WorkloadSketch(), scale=0.05, num_retrieves=8)
+        assert rec.winner in str(rec)
+
+    def test_deterministic(self):
+        a = recommend(WorkloadSketch(), scale=0.05, num_retrieves=8)
+        b = recommend(WorkloadSketch(), scale=0.05, num_retrieves=8)
+        assert a.costs == b.costs

@@ -1,0 +1,85 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_strategies_and_matrix(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DFS", "BFS", "DFSCACHE", "DFSCLUST", "SMART", "PROC-EXEC"):
+            assert name in out
+        assert "shaded" in out
+
+
+class TestRun:
+    def test_measures_one_point(self, capsys):
+        code = main(
+            [
+                "run",
+                "--strategy",
+                "BFS",
+                "--scale",
+                "0.05",
+                "--num-top",
+                "5",
+                "--num-queries",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg I/O per retrieve" in out
+        assert "BFS" in out
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--strategy", "NOPE"])
+
+
+class TestFootprint:
+    def test_prints_relations(self, capsys):
+        assert main(["footprint", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ParentRel" in out
+        assert "ClusterRel" in out
+        assert "Cache" in out
+
+
+class TestReport:
+    def test_report_single_experiment(self, tmp_path, capsys):
+        code = main(
+            [
+                "report",
+                "--scale",
+                "0.05",
+                "--out",
+                str(tmp_path),
+                "--only",
+                "ablation_buffer",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "ablation_buffer.txt").exists()
+        assert "A2" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_prints_plan(self, capsys):
+        code = main(
+            ["explain", "--strategy", "DFSCLUST", "--scale", "0.05",
+             "--num-top", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ClusterRel" in out
+
+    def test_explain_procedural(self, capsys):
+        code = main(
+            ["explain", "--strategy", "PROC-CACHE-VALUES", "--scale", "0.05",
+             "--num-top", "5"]
+        )
+        assert code == 0
+        assert "stored query" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.util.fmt import format_float, format_kv, format_table
+
+
+class TestFormatFloat:
+    def test_integers_stay_clean(self):
+        assert format_float(5.0) == "5"
+
+    def test_fractions_rounded(self):
+        assert format_float(3.14159) == "3.14"
+        assert format_float(3.14159, digits=4) == "3.1416"
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "long"], [[1, 2], [333, 4.5]])
+        lines = text.splitlines()
+        assert lines[0].endswith("long")
+        assert set(lines[1]) <= {"-", " "}
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatKv:
+    def test_aligned_keys(self):
+        text = format_kv([("k", 1), ("longer", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("k ")
+        assert "2.50" in lines[1] or "2.5" in lines[1]
+
+    def test_empty(self):
+        assert format_kv([]) == ""

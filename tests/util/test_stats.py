@@ -1,0 +1,99 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import RunningStats, histogram, mean, percentile
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_single_value(self):
+        assert percentile([7], 50) == 7
+
+
+class TestRunningStats:
+    def test_matches_batch_computation(self):
+        data = [3.0, 1.5, 4.0, 1.0, 5.9, 2.6]
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.count == len(data)
+        assert stats.mean == pytest.approx(sum(data) / len(data))
+        batch_var = sum((x - stats.mean) ** 2 for x in data) / (len(data) - 1)
+        assert stats.variance == pytest.approx(batch_var)
+        assert stats.stddev == pytest.approx(math.sqrt(batch_var))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.9
+        assert stats.total == pytest.approx(sum(data))
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.as_dict()["min"] == 0.0
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(4)
+        assert stats.variance == 0.0
+        assert stats.mean == 4
+
+    def test_as_dict_keys(self):
+        stats = RunningStats()
+        stats.add(1)
+        assert set(stats.as_dict()) == {
+            "count",
+            "mean",
+            "stddev",
+            "min",
+            "max",
+            "total",
+        }
+
+
+class TestHistogram:
+    def test_even_spread(self):
+        counts = histogram([0, 1, 2, 3, 4, 5, 6, 7, 8, 9], bins=5)
+        assert counts == [2, 2, 2, 2, 2]
+
+    def test_max_lands_in_last_bucket(self):
+        counts = histogram([0, 10], bins=10)
+        assert counts[0] == 1
+        assert counts[-1] == 1
+
+    def test_constant_values(self):
+        counts = histogram([5, 5, 5], bins=4)
+        assert counts == [3, 0, 0, 0]
+
+    def test_empty(self):
+        assert histogram([], bins=3) == [0, 0, 0]
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1], bins=0)

@@ -1,0 +1,124 @@
+"""Database generation: cardinalities, sharing structure, determinism."""
+
+import pytest
+
+from repro.workload.generator import build_database, parent_dummy_width
+from repro.workload.params import WorkloadParams
+
+
+def params(**kw):
+    defaults = dict(
+        num_parents=300,
+        use_factor=5,
+        overlap_factor=1,
+        size_cache=30,
+        buffer_pages=12,
+        num_top=10,
+        seed=5,
+    )
+    defaults.update(kw)
+    return WorkloadParams(**defaults)
+
+
+class TestCardinalities:
+    def test_parent_count(self):
+        db = build_database(params())
+        assert db.num_parents == 300
+
+    def test_child_count_follows_equation_one(self):
+        for use_factor in (1, 3, 5):
+            point = params(use_factor=use_factor)
+            db = build_database(point)
+            assert abs(db.num_children - point.num_children) <= point.size_unit
+
+    def test_child_relations_split(self):
+        point = params(num_child_rels=3)
+        db = build_database(point)
+        assert len(db.child_rels) == 3
+        counts = [rel.num_records for rel in db.child_rels]
+        assert sum(counts) == pytest.approx(point.num_children, abs=3)
+        assert max(counts) - min(counts) <= 1
+
+
+class TestUnits:
+    def test_partition_when_overlap_one(self):
+        db = build_database(params())
+        seen = set()
+        for unit in db.units:
+            for key in unit.child_keys:
+                ref = (unit.child_rel, key)
+                assert ref not in seen  # each subobject in exactly one unit
+                seen.add(ref)
+
+    def test_overlap_greater_one_shares_subobjects(self):
+        point = params(use_factor=1, overlap_factor=5)
+        db = build_database(point)
+        counts = {}
+        for unit in db.units:
+            for key in unit.child_keys:
+                counts[(unit.child_rel, key)] = counts.get((unit.child_rel, key), 0) + 1
+        mean_overlap = sum(counts.values()) / len(counts)
+        assert mean_overlap == pytest.approx(point.overlap_factor, rel=0.25)
+
+    def test_unit_sizes(self):
+        db = build_database(params())
+        assert all(u.size == 5 for u in db.units)
+
+    def test_units_single_relation_each(self):
+        point = params(num_child_rels=3)
+        db = build_database(point)
+        for unit in db.units:
+            assert 0 <= unit.child_rel < 3
+
+    def test_use_factor_expected(self):
+        point = params(num_parents=1000)
+        db = build_database(point)
+        uses = [len(u.parents) for u in db.units]
+        assert sum(uses) == 1000
+        assert sum(uses) / len(uses) == pytest.approx(5, rel=0.1)
+
+
+class TestRecords:
+    def test_parent_record_width(self):
+        point = params()
+        db = build_database(point)
+        size = db.parent_schema.record_size(db.fetch_parent(0))
+        assert abs(size - point.parent_bytes) <= 8
+
+    def test_children_oids_resolve(self):
+        db = build_database(params(num_child_rels=2))
+        for parent_key in range(0, 300, 37):
+            parent = db.fetch_parent(parent_key)
+            for oid in db.children_of(parent):
+                child = db.fetch_child(oid.rel - 1, oid.key)
+                assert child[0] == oid.key
+
+    def test_dummy_width_positive_even_for_narrow_tuples(self):
+        assert parent_dummy_width(params(parent_bytes=80)) >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        a = build_database(params())
+        b = build_database(params())
+        assert [u.child_keys for u in a.units] == [u.child_keys for u in b.units]
+        assert a.unit_of_parent == b.unit_of_parent
+        assert list(a.parent_rel.scan())[:5] == list(b.parent_rel.scan())[:5]
+
+    def test_different_seed_different_database(self):
+        a = build_database(params(seed=1))
+        b = build_database(params(seed=2))
+        assert a.unit_of_parent != b.unit_of_parent
+
+
+class TestFacilities:
+    def test_clustering_and_cache_flags(self):
+        db = build_database(params(), clustering=True, cache=True)
+        assert db.cluster is not None
+        assert db.cache is not None
+        assert db.cache.size_cache == 30
+
+    def test_counters_clean_after_build(self):
+        db = build_database(params(), clustering=True, cache=True)
+        assert db.disk.snapshot().total == 0
+        assert len(db.pool) == 0
