@@ -19,7 +19,6 @@ from repro import __version__
 from repro.core.representations import matrix_summary
 from repro.core.strategies import REGISTRY
 from repro.util.fmt import format_kv, format_table
-from repro.workload.driver import measure_strategy
 from repro.workload.generator import build_database
 from repro.workload.params import WorkloadParams
 
@@ -62,8 +61,15 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.pool import SweepPoint, run_sweep
+
     params = _params_from_args(args)
-    report = measure_strategy(params, args.strategy)
+    point = SweepPoint(
+        params=params,
+        strategy=args.strategy,
+        num_retrieves=params.num_queries,
+    )
+    report = run_sweep([point], jobs=args.jobs)[0]
     pairs = [
         ("strategy", report.strategy),
         ("parents", params.num_parents),
@@ -87,9 +93,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import main as report_main
 
-    argv = ["--scale", str(args.scale), "--out", args.out]
+    argv = ["--scale", str(args.scale), "--out", args.out, "--jobs", str(args.jobs)]
     if args.only:
         argv += ["--only"] + args.only
+    if args.no_point_cache:
+        argv += ["--no-point-cache"]
+    if args.bench_out is not None:
+        argv += ["--bench-out", args.bench_out]
     return report_main(argv)
 
 
@@ -135,11 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--overlap-factor", dest="overlap_factor", type=int)
     run.add_argument("--num-queries", dest="num_queries", type=int)
     run.add_argument("--seed", type=int)
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for sweep execution")
 
     report = sub.add_parser("report", help="run every figure/table experiment")
     report.add_argument("--scale", type=float, default=0.5)
     report.add_argument("--out", default="results")
     report.add_argument("--only", nargs="*")
+    report.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep points (1 = serial)")
+    report.add_argument("--no-point-cache", dest="no_point_cache",
+                        action="store_true",
+                        help="recompute every point (skip OUT/.pointcache)")
+    report.add_argument("--bench-out", dest="bench_out", default=None,
+                        help="telemetry JSON path ('' disables)")
 
     footprint = sub.add_parser("footprint", help="show per-relation pages")
     footprint.add_argument("--scale", type=float, default=0.1)

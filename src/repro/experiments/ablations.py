@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.runner import DatabaseCache, ExperimentResult, run_point
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.params import WorkloadParams
 
 
@@ -36,15 +37,24 @@ def run_cache_size(
     scale: float = 1.0,
     num_retrieves: Optional[int] = None,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """DFSCACHE cost vs SizeCache (as a fraction of NumUnits)."""
     base = params or default_params(scale)
     base = base.replace(num_top=max(1, base.num_parents // 100), pr_update=0.0)
+    sizes = [max(1, round(base.num_units * f)) for f in CACHE_FRACTIONS]
+    points = [
+        SweepPoint(
+            params=base.replace(size_cache=size),
+            strategy="DFSCACHE",
+            num_retrieves=num_retrieves,
+        )
+        for size in sizes
+    ]
+    reports = run_sweep(points, jobs=jobs, cache=point_cache)
     rows: List[List] = []
-    for fraction in CACHE_FRACTIONS:
-        size_cache = max(1, round(base.num_units * fraction))
-        point = base.replace(size_cache=size_cache)
-        report = run_point(point, "DFSCACHE", num_retrieves=num_retrieves)
+    for fraction, size_cache, report in zip(CACHE_FRACTIONS, sizes, reports):
         rows.append(
             [
                 size_cache,
@@ -72,17 +82,27 @@ def run_buffer_size(
     num_retrieves: Optional[int] = None,
     buffer_sizes: Sequence[int] = BUFFER_SIZES,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """DFS/BFS cost vs buffer-pool pages (ordering should be stable)."""
     base = params or default_params(scale)
     base = base.replace(num_top=max(1, base.num_parents // 20), pr_update=0.0)
+    cells = [
+        base.replace(buffer_pages=max(8, round(pages * scale)))
+        for pages in buffer_sizes
+    ]
+    points = [
+        SweepPoint(params=cell, strategy=name, num_retrieves=num_retrieves)
+        for cell in cells
+        for name in ("DFS", "BFS")
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
     rows: List[List] = []
-    for pages in buffer_sizes:
-        point = base.replace(buffer_pages=max(8, round(pages * scale)))
-        row: List = [point.buffer_pages]
-        for name in ("DFS", "BFS"):
-            report = run_point(point, name, num_retrieves=num_retrieves)
-            row.append(round(report.avg_io_per_retrieve, 1))
+    for cell in cells:
+        row: List = [cell.buffer_pages]
+        for _ in ("DFS", "BFS"):
+            row.append(round(next(reports).avg_io_per_retrieve, 1))
         rows.append(row)
     return ExperimentResult(
         name="ablation-buffer",
@@ -103,18 +123,26 @@ def run_inside_outside(
     num_retrieves: Optional[int] = None,
     use_factors: Sequence[int] = A3_USE_FACTORS,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """Outside vs inside caching as sharing (UseFactor) grows."""
     base = params or default_params(scale)
     base = base.replace(num_top=max(1, base.num_parents // 100), pr_update=0.0)
-    db_cache = DatabaseCache()
+    points = [
+        SweepPoint(
+            params=base.replace(use_factor=use_factor),
+            strategy=name,
+            num_retrieves=num_retrieves,
+        )
+        for use_factor in use_factors
+        for name in ("DFSCACHE", "DFSCACHE-INSIDE")
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
     rows: List[List] = []
     for use_factor in use_factors:
-        point = base.replace(use_factor=use_factor)
-        outside = run_point(point, "DFSCACHE", db_cache, num_retrieves=num_retrieves)
-        inside = run_point(
-            point, "DFSCACHE-INSIDE", db_cache, num_retrieves=num_retrieves
-        )
+        outside = next(reports)
+        inside = next(reports)
         rows.append(
             [
                 use_factor,
@@ -140,18 +168,27 @@ def run_buffer_policy(
     scale: float = 1.0,
     num_retrieves: Optional[int] = None,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """LRU vs clock replacement: the strategy ordering must not flip."""
     base = params or default_params(scale)
     base = base.replace(num_top=max(1, base.num_parents // 50), pr_update=0.0)
+    points = [
+        SweepPoint(
+            params=base.replace(buffer_policy=policy),
+            strategy=name,
+            num_retrieves=num_retrieves,
+        )
+        for policy in ("lru", "clock")
+        for name in A4_STRATEGIES
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
     rows: List[List] = []
     for policy in ("lru", "clock"):
-        point = base.replace(buffer_policy=policy)
-        db_cache = DatabaseCache()
         row: List = [policy]
-        for name in A4_STRATEGIES:
-            report = run_point(point, name, db_cache, num_retrieves=num_retrieves)
-            row.append(round(report.avg_io_per_retrieve, 1))
+        for _ in A4_STRATEGIES:
+            row.append(round(next(reports).avg_io_per_retrieve, 1))
         rows.append(row)
     return ExperimentResult(
         name="ablation-buffer-policy",

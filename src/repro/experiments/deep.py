@@ -20,31 +20,19 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.deep import DeepQuery, deep_bfs, deep_dfs
-from repro.core.measure import CostMeter
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
 from repro.experiments.runner import ExperimentResult
-from repro.util.rng import derive_rng
-from repro.workload.deepgen import DeepParams, build_deep_database
+from repro.workload.deepgen import DeepParams
 
 DEPTHS = (1, 2, 3)
+
+#: Traversal runners in row order (resolved in the sweep executor).
+RUNNERS = ("dfs", "bfs", "nodup")
 
 
 def default_params(scale: float = 1.0) -> DeepParams:
     num_roots = max(200, round(20000 * scale))
     return DeepParams(num_roots=num_roots, depth=max(DEPTHS), use_factor=5)
-
-
-def _run_queries(db, depth, num_roots, span, queries, seed, runner):
-    rng = derive_rng(seed, stream=depth)
-    total = 0
-    for _ in range(queries):
-        lo = rng.randrange(max(1, num_roots - span + 1))
-        query = DeepQuery(lo, lo + span - 1, depth)
-        db.start_measurement(cold=True)
-        meter = CostMeter(db.disk)
-        runner(db, query, meter)
-        total += meter.total_cost
-    return total / queries
 
 
 def run(
@@ -53,24 +41,30 @@ def run(
     span: int = 4,
     depths: Sequence[int] = DEPTHS,
     params: Optional[DeepParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per query depth: DFS, BFS, BFSNODUP average I/O."""
     base = params or default_params(scale)
-    db = build_deep_database(base)
+    points = [
+        SweepPoint(
+            kind="deep",
+            deep_params=base,
+            depth=depth,
+            span=span,
+            queries=num_retrieves,
+            runner=runner,
+        )
+        for depth in depths
+        for runner in RUNNERS
+    ]
+    results = iter(run_sweep(points, jobs=jobs, cache=point_cache))
 
     rows: List[List] = []
     for depth in depths:
-        dfs = _run_queries(
-            db, depth, base.num_roots, span, num_retrieves, base.seed, deep_dfs
-        )
-        bfs = _run_queries(
-            db, depth, base.num_roots, span, num_retrieves, base.seed,
-            lambda d, q, m: deep_bfs(d, q, m, dedup=False),
-        )
-        nodup = _run_queries(
-            db, depth, base.num_roots, span, num_retrieves, base.seed,
-            lambda d, q, m: deep_bfs(d, q, m, dedup=True),
-        )
+        dfs = next(results)
+        bfs = next(results)
+        nodup = next(results)
         gain = (bfs - nodup) / bfs if bfs else 0.0
         rows.append(
             [depth, round(dfs, 1), round(bfs, 1), round(nodup, 1),

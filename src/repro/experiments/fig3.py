@@ -13,12 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.experiments.runner import (
-    DatabaseCache,
-    ExperimentResult,
-    run_point,
-    scaled_num_tops,
-)
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult, scaled_num_tops
 from repro.workload.params import WorkloadParams
 
 STRATEGIES = ("DFS", "BFS", "BFSNODUP")
@@ -35,19 +31,28 @@ def run(
     scale: float = 1.0,
     num_retrieves: Optional[int] = None,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """Run the Figure 3 sweep; one row per NumTop value."""
     base = params or default_params(scale)
-    db_cache = DatabaseCache()
     num_tops = scaled_num_tops(base, NUM_TOP_FRACTIONS)
+    points = [
+        SweepPoint(
+            params=base.replace(num_top=num_top),
+            strategy=name,
+            num_retrieves=num_retrieves,
+        )
+        for num_top in num_tops
+        for name in STRATEGIES
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
 
     rows: List[List] = []
     for num_top in num_tops:
-        point = base.replace(num_top=num_top)
         row: List = [num_top]
-        for name in STRATEGIES:
-            report = run_point(point, name, db_cache, num_retrieves=num_retrieves)
-            row.append(round(report.avg_io_per_retrieve, 1))
+        for _ in STRATEGIES:
+            row.append(round(next(reports).avg_io_per_retrieve, 1))
         rows.append(row)
 
     return ExperimentResult(

@@ -24,12 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import (
-    DatabaseCache,
-    ExperimentResult,
-    run_point,
-    scaled_num_tops,
-)
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult, scaled_num_tops
 from repro.workload.params import WorkloadParams
 
 STRATEGIES = ("BFS", "DFSCACHE", "DFSCLUST")
@@ -57,6 +53,8 @@ def run(
     use_factors: Optional[Sequence[int]] = None,
     num_top_fractions: Optional[Sequence[float]] = None,
     pr_updates: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """Sweep the cuboid; one row per grid point with costs and the winner."""
     base = params or default_params(scale)
@@ -65,36 +63,42 @@ def run(
         COARSE_NUM_TOP_FRACTIONS if coarse else NUM_TOP_FRACTIONS
     )
     prs = pr_updates or (COARSE_PR_UPDATES if coarse else PR_UPDATES)
-    db_cache = DatabaseCache()
 
-    rows: List[List] = []
+    grid: List[WorkloadParams] = []
     for use_factor in use_factors:
         shaped = base.replace(use_factor=use_factor)
         for num_top in scaled_num_tops(shaped, fractions):
             for pr_update in prs:
-                point = shaped.replace(num_top=num_top, pr_update=pr_update)
-                costs: Dict[str, float] = {}
-                for name in STRATEGIES:
-                    report = run_point(
-                        point,
-                        name,
-                        db_cache,
-                        num_retrieves=num_retrieves,
-                        warmup_fraction=0.25,
-                    )
-                    costs[name] = report.avg_retrieve_io
-                best = min(costs, key=lambda n: costs[n])
-                rows.append(
-                    [
-                        point.share_factor,
-                        num_top,
-                        pr_update,
-                        round(costs["BFS"], 1),
-                        round(costs["DFSCACHE"], 1),
-                        round(costs["DFSCLUST"], 1),
-                        best,
-                    ]
-                )
+                grid.append(shaped.replace(num_top=num_top, pr_update=pr_update))
+    points = [
+        SweepPoint(
+            params=cell,
+            strategy=name,
+            num_retrieves=num_retrieves,
+            warmup_fraction=0.25,
+        )
+        for cell in grid
+        for name in STRATEGIES
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
+
+    rows: List[List] = []
+    for cell in grid:
+        costs: Dict[str, float] = {
+            name: next(reports).avg_retrieve_io for name in STRATEGIES
+        }
+        best = min(costs, key=lambda n: costs[n])
+        rows.append(
+            [
+                cell.share_factor,
+                cell.num_top,
+                cell.pr_update,
+                round(costs["BFS"], 1),
+                round(costs["DFSCACHE"], 1),
+                round(costs["DFSCLUST"], 1),
+                best,
+            ]
+        )
 
     return ExperimentResult(
         name="fig4",

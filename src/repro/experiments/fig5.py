@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.runner import DatabaseCache, ExperimentResult, run_point
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.params import WorkloadParams
 
 USE_FACTORS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
@@ -36,21 +37,33 @@ def run(
     num_retrieves: Optional[int] = None,
     use_factors: Sequence[int] = USE_FACTORS,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per ShareFactor with both strategies' cost breakdown."""
     base = params or default_params(scale)
     num_top = max(1, round(base.num_parents * NUM_TOP_FRACTION))
-    db_cache = DatabaseCache()
+    cells = [
+        base.replace(use_factor=use_factor, num_top=num_top)
+        for use_factor in use_factors
+    ]
+    points = [
+        SweepPoint(
+            params=cell,
+            strategy=name,
+            num_retrieves=num_retrieves,
+            cold_retrieves=True,
+        )
+        for cell in cells
+        for name in ("DFSCLUST", "BFS")
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
 
     rows: List[List] = []
-    for use_factor in use_factors:
-        point = base.replace(use_factor=use_factor, num_top=num_top)
-        row: List = [point.share_factor]
-        for name in ("DFSCLUST", "BFS"):
-            report = run_point(
-                point, name, db_cache, num_retrieves=num_retrieves,
-                cold_retrieves=True,
-            )
+    for cell in cells:
+        row: List = [cell.share_factor]
+        for _ in ("DFSCLUST", "BFS"):
+            report = next(reports)
             row.extend(
                 [
                     round(report.par_cost_per_retrieve, 1),

@@ -21,12 +21,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.experiments.runner import (
-    DatabaseCache,
-    ExperimentResult,
-    run_point,
-    scaled_num_tops,
-)
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult, scaled_num_tops
 from repro.workload.params import WorkloadParams
 
 CONFIGS = (
@@ -44,25 +40,31 @@ def run(
     scale: float = 1.0,
     num_retrieves: Optional[int] = None,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per NumTop with the DFSCLUST/BFS cost ratio per config."""
     base = params or default_params(scale)
     num_tops = scaled_num_tops(base, NUM_TOP_FRACTIONS)
-    db_cache = DatabaseCache()
+    points = [
+        SweepPoint(
+            params=base.replace(num_top=num_top, **config),
+            strategy=name,
+            num_retrieves=num_retrieves,
+            cold_retrieves=True,
+        )
+        for num_top in num_tops
+        for config in CONFIGS
+        for name in ("DFSCLUST", "BFS")
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
 
     rows: List[List] = []
     for num_top in num_tops:
         row: List = [num_top]
-        for config in CONFIGS:
-            point = base.replace(num_top=num_top, **config)
-            clust = run_point(
-                point, "DFSCLUST", db_cache,
-                num_retrieves=num_retrieves, cold_retrieves=True,
-            )
-            bfs = run_point(
-                point, "BFS", db_cache,
-                num_retrieves=num_retrieves, cold_retrieves=True,
-            )
+        for _ in CONFIGS:
+            clust = next(reports)
+            bfs = next(reports)
             ratio = (
                 clust.avg_io_per_retrieve / bfs.avg_io_per_retrieve
                 if bfs.avg_io_per_retrieve

@@ -26,12 +26,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.strategies.base import make_strategy
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
 from repro.experiments.runner import ExperimentResult
-from repro.workload.driver import run_sequence
-from repro.workload.generator import build_database
 from repro.workload.params import WorkloadParams
-from repro.workload.queries import generate_sequence
 
 STRATEGIES = (
     "PROC-EXEC",
@@ -57,6 +54,8 @@ def run(
     num_retrieves: Optional[int] = None,
     pr_updates: Sequence[float] = PR_UPDATES,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per Pr(UPDATE) with every representation point's cost."""
     base = params or default_params(scale)
@@ -70,19 +69,29 @@ def run(
     # W = 3 * NumUnits / NumTop reaches ~95%.
     warmup = max(60, 2 * retrieves, 3 * base.num_units // base.num_top)
 
+    # Every representation point runs against the same cache-enabled,
+    # procedural database (db_cache=True forces the cache facility on
+    # even for the non-caching strategies, matching the shared-database
+    # comparison the docstring describes).
+    points = [
+        SweepPoint(
+            params=base.replace(pr_update=pr_update),
+            strategy=name,
+            num_retrieves=retrieves + warmup,
+            warmup=warmup,
+            db_cache=True,
+            db_procedural=True,
+        )
+        for pr_update in pr_updates
+        for name in STRATEGIES
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
+
     rows: List[List] = []
     for pr_update in pr_updates:
-        point = base.replace(pr_update=pr_update)
-        db = build_database(point, cache=True, procedural=True)
-        sequence = generate_sequence(
-            point, db, num_retrieves=retrieves + warmup
-        )
         row: List = [pr_update]
-        for name in STRATEGIES:
-            report = run_sequence(
-                db, make_strategy(name), sequence, warmup=warmup
-            )
-            row.append(round(report.avg_io_per_retrieve, 1))
+        for _ in STRATEGIES:
+            row.append(round(next(reports).avg_io_per_retrieve, 1))
         rows.append(row)
 
     return ExperimentResult(

@@ -12,12 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.experiments.runner import (
-    DatabaseCache,
-    ExperimentResult,
-    run_point,
-    scaled_num_tops,
-)
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult, scaled_num_tops
 from repro.workload.params import WorkloadParams
 
 NUM_TOP_FRACTIONS = (0.0001, 0.001, 0.01, 0.05, 0.2, 1.0)
@@ -31,17 +27,27 @@ def run(
     scale: float = 1.0,
     num_retrieves: Optional[int] = None,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per NumTop: DFS, BFS, OPT costs and OPT's regret."""
     base = params or default_params(scale)
-    db_cache = DatabaseCache()
+    num_tops = scaled_num_tops(base, NUM_TOP_FRACTIONS)
+    points = [
+        SweepPoint(
+            params=base.replace(num_top=num_top),
+            strategy=name,
+            num_retrieves=num_retrieves,
+        )
+        for num_top in num_tops
+        for name in ("DFS", "BFS", "OPT")
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
     rows: List[List] = []
-    for num_top in scaled_num_tops(base, NUM_TOP_FRACTIONS):
-        point = base.replace(num_top=num_top)
+    for num_top in num_tops:
         costs = {}
         for name in ("DFS", "BFS", "OPT"):
-            report = run_point(point, name, db_cache, num_retrieves=num_retrieves)
-            costs[name] = report.avg_io_per_retrieve
+            costs[name] = next(reports).avg_io_per_retrieve
         best = min(costs["DFS"], costs["BFS"])
         regret = (costs["OPT"] - best) / best if best else 0.0
         rows.append(

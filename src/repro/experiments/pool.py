@@ -1,0 +1,429 @@
+"""Parallel, resumable sweep execution with a persistent point cache.
+
+Every experiment in this package is a parameter sweep: a grid of
+(parameter point, strategy) cells, each measured independently.  This
+module turns that structure into an explicit execution layer:
+
+* :class:`SweepPoint` — a declarative, picklable spec of one cell
+  (workload parameters + strategy + run options, or a deep-hierarchy
+  query point).  Experiments build a flat list of points and get their
+  :class:`~repro.workload.driver.CostReport` rows back *in input order*;
+* :func:`run_sweep` — executes a point list serially (``jobs=1``, the
+  default) or fans it out over a ``multiprocessing`` pool.  Workers
+  build and reuse databases locally through a bounded per-worker
+  :class:`~repro.experiments.runner.DatabaseCache`; only the measured
+  reports travel back to the parent, so results are bit-for-bit
+  identical to a serial run regardless of completion order;
+* :class:`PointCache` — a persistent on-disk memo (JSON-lines under
+  ``results/.pointcache/``) keyed by a stable hash of the point plus a
+  fingerprint of the ``repro`` source tree.  Finished points are never
+  recomputed: an interrupted or repeated sweep resumes from the cache,
+  and any code change invalidates every entry at once.
+
+Determinism contract: a point's measurement depends only on its spec.
+The database build is seeded, ``run_sequence(reset=True)`` starts every
+run from a cold buffer pool and an empty cache, and the workload's
+updates rewrite fixed-size integer fields in place — so re-running a
+point against a reused database yields the same report as against a
+fresh one (``tests/experiments/test_pool.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.strategies.base import make_strategy
+from repro.experiments.runner import DatabaseCache, adaptive_queries
+from repro.workload.driver import CostReport, run_sequence
+from repro.workload.params import WorkloadParams
+from repro.workload.queries import generate_mixed_sequence, generate_sequence
+
+#: Default location of the persistent point cache, relative to the
+#: report's output directory.
+POINT_CACHE_DIRNAME = ".pointcache"
+
+#: Per-worker database cache bound: a worker keeps at most this many
+#: built databases alive (evicted least-recently-used; rebuilding a
+#: dropped database is deterministic, so results are unaffected).
+WORKER_DB_CACHE_SIZE = 4
+
+#: Telemetry trail: one entry per :func:`run_sweep` call, with point
+#: counts, cache hits and wall-clock seconds.  The report runner drains
+#: this into ``BENCH_sweeps.json``.
+SWEEP_LOG: List[Dict[str, Any]] = []
+
+
+# ----------------------------------------------------------------------
+# point specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured cell of a sweep.
+
+    ``kind="workload"`` points mirror :func:`repro.experiments.runner
+    .run_point` (plus the sequence/warm-up variations the smart and
+    matrix experiments need); ``kind="deep"`` points measure one
+    (depth, traversal) cell of the deep-hierarchy experiment.
+    """
+
+    kind: str = "workload"
+    # --- workload points ------------------------------------------------
+    params: Optional[WorkloadParams] = None
+    strategy: str = ""
+    num_retrieves: Optional[int] = None
+    cold_retrieves: bool = False
+    warmup_fraction: float = 0.0
+    #: Absolute warm-up operation count; overrides ``warmup_fraction``.
+    warmup: Optional[int] = None
+    #: ``"standard"`` or ``"mixed"`` (Section 5.3's NumTop mix).
+    sequence: str = "standard"
+    mix_num_tops: Optional[Tuple[int, ...]] = None
+    #: Force the cache facility on/off on the database (None = derive
+    #: from the strategy, as run_point does).
+    db_cache: Optional[bool] = None
+    db_procedural: bool = False
+    strategy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    # --- deep points ----------------------------------------------------
+    deep_params: Optional[Any] = None  # workload.deepgen.DeepParams
+    depth: Optional[int] = None
+    span: Optional[int] = None
+    queries: Optional[int] = None
+    #: ``"dfs"`` | ``"bfs"`` | ``"nodup"``.
+    runner: Optional[str] = None
+
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-able, order-stable view of a point (for hashing)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    return obj
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file; part of each cache key.
+
+    Any change to the package — a strategy tweak, a storage fix, a new
+    cost model — yields a new fingerprint and therefore invalidates the
+    whole point cache, which is exactly the safe behaviour: cached
+    numbers are only valid for the code that produced them.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable cache key: the canonical point plus the code fingerprint."""
+    payload = json.dumps(
+        {"point": _canonical(point), "code": code_fingerprint()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# persistent point cache
+# ----------------------------------------------------------------------
+class PointCache:
+    """On-disk memo of finished sweep points (JSON-lines).
+
+    One file per code fingerprint; entries from older fingerprints are
+    simply never consulted.  Writes are line-atomic appends, so an
+    interrupted sweep leaves at worst one torn trailing line, which
+    :meth:`_load` skips.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.fingerprint = code_fingerprint()
+        self.path = os.path.join(root, "points-%s.jsonl" % self.fingerprint[:16])
+        self._entries: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:  # torn tail from an interrupted run
+                    continue
+                self._entries[entry["key"]] = entry["result"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        if key in self._entries:
+            return
+        self._entries[key] = result
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(
+                json.dumps({"key": key, "result": result}, sort_keys=True) + "\n"
+            )
+        self.stores += 1
+
+
+# ----------------------------------------------------------------------
+# point execution
+# ----------------------------------------------------------------------
+def _report_to_payload(report: CostReport) -> Dict[str, Any]:
+    payload = dataclasses.asdict(report)
+    payload["kind"] = "workload"
+    return payload
+
+
+def _payload_to_result(payload: Dict[str, Any]) -> Any:
+    payload = dict(payload)
+    kind = payload.pop("kind", "workload")
+    if kind == "deep":
+        return payload["avg_io"]
+    return CostReport(**payload)
+
+
+def execute_point(
+    point: SweepPoint, db_cache: Optional[DatabaseCache] = None
+) -> Dict[str, Any]:
+    """Measure one point, returning a JSON-able result payload."""
+    if point.kind == "deep":
+        return {"kind": "deep", "avg_io": _execute_deep(point, db_cache)}
+    return _report_to_payload(_execute_workload(point, db_cache))
+
+
+def _execute_workload(
+    point: SweepPoint, db_cache: Optional[DatabaseCache]
+) -> CostReport:
+    params = point.params
+    if params is None:
+        raise ValueError("workload point without params: %r" % (point,))
+    strategy = make_strategy(point.strategy, **dict(point.strategy_kwargs))
+    if db_cache is None:
+        db_cache = DatabaseCache()
+    if point.db_cache is not None:
+        want_cache = point.db_cache
+    else:
+        want_cache = strategy.uses_cache and point.strategy != "DFSCACHE-INSIDE"
+    db = db_cache.get(
+        params,
+        clustering=strategy.uses_clustering,
+        cache=want_cache,
+        procedural=point.db_procedural,
+    )
+    if point.strategy == "DFSCACHE-INSIDE" and db.inside_cache is None:
+        db.enable_inside_cache(
+            params.size_cache, unit_bytes_hint=params.size_unit * params.child_bytes
+        )
+    if point.sequence == "mixed":
+        if not point.mix_num_tops:
+            raise ValueError("mixed-sequence point without mix_num_tops")
+        sequence = generate_mixed_sequence(
+            params,
+            list(point.mix_num_tops),
+            db,
+            num_retrieves=point.num_retrieves,
+        )
+    else:
+        sequence = generate_sequence(
+            params,
+            db,
+            num_retrieves=adaptive_queries(params.num_top, point.num_retrieves),
+        )
+    if point.warmup is not None:
+        warmup = point.warmup
+    else:
+        warmup = int(len(sequence) * point.warmup_fraction)
+    return run_sequence(
+        db, strategy, sequence, cold_retrieves=point.cold_retrieves, warmup=warmup
+    )
+
+
+def _execute_deep(point: SweepPoint, db_cache: Optional[DatabaseCache]) -> float:
+    from repro.core.deep import DeepQuery, deep_bfs, deep_dfs
+    from repro.core.measure import CostMeter
+    from repro.util.rng import derive_rng
+
+    runners = {
+        "dfs": deep_dfs,
+        "bfs": lambda db, query, meter: deep_bfs(db, query, meter, dedup=False),
+        "nodup": lambda db, query, meter: deep_bfs(db, query, meter, dedup=True),
+    }
+    if point.runner not in runners:
+        raise ValueError("unknown deep runner %r" % (point.runner,))
+    if db_cache is None:
+        db_cache = DatabaseCache()
+    base = point.deep_params
+    db = db_cache.get_deep(base)
+    run_query = runners[point.runner]
+    rng = derive_rng(base.seed, stream=point.depth)
+    total = 0
+    for _ in range(point.queries):
+        lo = rng.randrange(max(1, base.num_roots - point.span + 1))
+        query = DeepQuery(lo, lo + point.span - 1, point.depth)
+        db.start_measurement(cold=True)
+        meter = CostMeter(db.disk)
+        run_query(db, query, meter)
+        total += meter.total_cost
+    return total / point.queries
+
+
+# ----------------------------------------------------------------------
+# the sweep engine
+# ----------------------------------------------------------------------
+_WORKER_DB_CACHE: Optional[DatabaseCache] = None
+
+
+def _init_worker() -> None:
+    global _WORKER_DB_CACHE
+    _WORKER_DB_CACHE = DatabaseCache(max_entries=WORKER_DB_CACHE_SIZE)
+
+
+def _run_task(task: Tuple[int, SweepPoint]) -> Tuple[int, Dict[str, Any]]:
+    index, point = task
+    return index, execute_point(point, _WORKER_DB_CACHE)
+
+
+def _dispatch_key(point: SweepPoint) -> Tuple:
+    """Sort key grouping points that can share one built database."""
+    if point.kind == "deep":
+        return ("deep", repr(point.deep_params))
+    params = point.params
+    strategy_cls = make_strategy(point.strategy, **dict(point.strategy_kwargs))
+    if point.db_cache is not None:
+        want_cache = point.db_cache
+    else:
+        want_cache = strategy_cls.uses_cache and point.strategy != "DFSCACHE-INSIDE"
+    return ("workload",) + DatabaseCache().shape_key(
+        params, strategy_cls.uses_clustering, want_cache, point.db_procedural
+    )
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    cache: Optional[PointCache] = None,
+) -> List[Any]:
+    """Measure every point; results come back in input order.
+
+    ``jobs=1`` runs serially in-process with one shared
+    :class:`DatabaseCache` (the default, and what the tests exercise).
+    ``jobs>1`` fans uncached points out over a worker pool.  With a
+    ``cache``, previously finished points are answered from disk and
+    only the remainder is computed (then stored).
+    """
+    t_start = time.perf_counter()
+    results: List[Any] = [None] * len(points)
+    keys: List[Optional[str]] = [None] * len(points)
+    pending: List[int] = []
+    for i, point in enumerate(points):
+        payload = None
+        if cache is not None:
+            keys[i] = point_key(point)
+            payload = cache.get(keys[i])
+        if payload is not None:
+            results[i] = _payload_to_result(payload)
+        else:
+            pending.append(i)
+
+    hits = len(points) - len(pending)
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            _run_parallel(points, pending, keys, results, cache, jobs)
+        else:
+            db_cache = DatabaseCache()
+            for i in pending:
+                payload = execute_point(points[i], db_cache)
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], payload)
+                results[i] = _payload_to_result(payload)
+
+    SWEEP_LOG.append(
+        {
+            "points": len(points),
+            "cache_hits": hits,
+            "executed": len(pending),
+            "jobs": jobs,
+            "seconds": time.perf_counter() - t_start,
+        }
+    )
+    return results
+
+
+def _run_parallel(
+    points: Sequence[SweepPoint],
+    pending: List[int],
+    keys: List[Optional[str]],
+    results: List[Any],
+    cache: Optional[PointCache],
+    jobs: int,
+) -> None:
+    import multiprocessing as mp
+
+    # Group same-database points into contiguous chunks so a worker's
+    # local DatabaseCache gets reuse instead of rebuilding per point.
+    order = sorted(pending, key=lambda i: _dispatch_key(points[i]))
+    chunksize = max(1, min(8, (len(order) + jobs * 4 - 1) // (jobs * 4)))
+    method = "fork" if "fork" in mp.get_all_start_methods() else None
+    context = mp.get_context(method)
+    with context.Pool(processes=jobs, initializer=_init_worker) as pool:
+        tasks = [(i, points[i]) for i in order]
+        for index, payload in pool.imap_unordered(_run_task, tasks, chunksize):
+            if cache is not None and keys[index] is not None:
+                cache.put(keys[index], payload)
+            results[index] = _payload_to_result(payload)
+
+
+def run_sweep_reports(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    cache: Optional[PointCache] = None,
+) -> List[CostReport]:
+    """:func:`run_sweep` for all-workload grids, typed as cost reports."""
+    return run_sweep(points, jobs=jobs, cache=cache)

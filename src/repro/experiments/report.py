@@ -2,46 +2,64 @@
 
 Usage::
 
-    python -m repro.experiments.report [--scale S] [--out DIR]
+    python -m repro.experiments.report [--scale S] [--out DIR] [--jobs N]
 
-Writes one plain-text table per figure/section under ``DIR`` (default
-``results/``) and prints everything to stdout.  EXPERIMENTS.md records a
-run of this module next to the paper's reported shapes.
+Writes one plain-text table plus a structured ``.json`` twin per
+figure/section under ``DIR`` (default ``results/``) and prints everything
+to stdout.  ``--jobs N`` fans sweep points out over N worker processes
+(results are bit-identical to serial); finished points are memoized in
+``DIR/.pointcache/`` so repeated or interrupted runs resume instantly
+(``--no-point-cache`` disables that).  Per-experiment wall-clock and
+point-count telemetry lands in ``--bench-out`` (default
+``BENCH_sweeps.json``) so the perf trajectory is machine-readable.
+EXPERIMENTS.md records a run of this module next to the paper's reported
+shapes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import ablations, deep, fig3, fig4, fig5, fig7, matrix, opt, sec62, smart
+from repro.experiments import pool
+from repro.experiments.pool import PointCache
 from repro.experiments.runner import ExperimentResult
 
 
-def experiment_suite(scale: float) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
+def experiment_suite(
+    scale: float,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
+) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
     """The full reproduction, one callable per figure/table."""
+
+    def call(fn: Callable[..., ExperimentResult], **kwargs):
+        return lambda: fn(jobs=jobs, point_cache=point_cache, **kwargs)
+
     return [
-        ("fig3", lambda: fig3.run(scale=scale)),
-        ("fig4", lambda: fig4.run(scale=min(scale, 0.3))),
-        ("fig5", lambda: fig5.run(scale=scale, num_retrieves=8)),
-        ("fig7", lambda: fig7.run(scale=scale, num_retrieves=8)),
-        ("sec62", lambda: sec62.run(scale=max(scale, 0.2))),
-        ("smart", lambda: smart.run(scale=scale)),
-        ("ablation_cache_size", lambda: ablations.run_cache_size(scale=scale)),
-        ("ablation_buffer", lambda: ablations.run_buffer_size(scale=scale)),
+        ("fig3", call(fig3.run, scale=scale)),
+        ("fig4", call(fig4.run, scale=min(scale, 0.3))),
+        ("fig5", call(fig5.run, scale=scale, num_retrieves=8)),
+        ("fig7", call(fig7.run, scale=scale, num_retrieves=8)),
+        ("sec62", call(sec62.run, scale=max(scale, 0.2))),
+        ("smart", call(smart.run, scale=scale)),
+        ("ablation_cache_size", call(ablations.run_cache_size, scale=scale)),
+        ("ablation_buffer", call(ablations.run_buffer_size, scale=scale)),
         (
             "ablation_inside_outside",
-            lambda: ablations.run_inside_outside(scale=scale),
+            call(ablations.run_inside_outside, scale=scale),
         ),
-        ("deep", lambda: deep.run(scale=scale, span=12)),
-        ("matrix", lambda: matrix.run(scale=min(scale, 0.4))),
-        ("opt", lambda: opt.run(scale=min(scale, 0.3))),
+        ("deep", call(deep.run, scale=scale, span=12)),
+        ("matrix", call(matrix.run, scale=min(scale, 0.4))),
+        ("opt", call(opt.run, scale=min(scale, 0.3))),
         (
             "ablation_buffer_policy",
-            lambda: ablations.run_buffer_policy(scale=scale),
+            call(ablations.run_buffer_policy, scale=scale),
         ),
     ]
 
@@ -85,22 +103,87 @@ def main(argv=None) -> int:
         default=None,
         help="subset of experiment names to run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (1 = serial, the default)",
+    )
+    parser.add_argument(
+        "--no-point-cache",
+        action="store_true",
+        help="recompute every sweep point instead of memoizing under OUT/.pointcache",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_sweeps.json",
+        help="telemetry JSON path ('' disables)",
+    )
     args = parser.parse_args(argv)
     os.makedirs(args.out, exist_ok=True)
 
-    t_start = time.time()
-    for name, run in experiment_suite(args.scale):
+    suite = experiment_suite(
+        args.scale,
+        jobs=args.jobs,
+        point_cache=(
+            None
+            if args.no_point_cache
+            else PointCache(os.path.join(args.out, ".pointcache"))
+        ),
+    )
+    names = [name for name, _ in suite]
+    if args.only:
+        unknown = [name for name in args.only if name not in names]
+        if unknown:
+            parser.error(
+                "unknown experiment name(s): %s (choose from: %s)"
+                % (", ".join(unknown), ", ".join(names))
+            )
+
+    telemetry: List[dict] = []
+    t_start = time.perf_counter()
+    for name, run in suite:
         if args.only and name not in args.only:
             continue
-        t0 = time.time()
+        sweeps_before = len(pool.SWEEP_LOG)
+        t0 = time.perf_counter()
         result = run()
+        seconds = time.perf_counter() - t0
+        sweeps = pool.SWEEP_LOG[sweeps_before:]
+        telemetry.append(
+            {
+                "name": name,
+                "seconds": round(seconds, 3),
+                "points": sum(s["points"] for s in sweeps),
+                "cache_hits": sum(s["cache_hits"] for s in sweeps),
+                "executed": sum(s["executed"] for s in sweeps),
+            }
+        )
         text = annotate(name, result)
-        text += "\n[%s: %.1fs at scale %.2f]" % (name, time.time() - t0, args.scale)
+        text += "\n[%s: %.1fs at scale %.2f]" % (name, seconds, args.scale)
         print(text)
         print()
         with open(os.path.join(args.out, "%s.txt" % name), "w") as handle:
             handle.write(text + "\n")
-    print("total: %.1fs" % (time.time() - t_start))
+        result.write_json(os.path.join(args.out, "%s.json" % name))
+    total_seconds = time.perf_counter() - t_start
+    print("total: %.1fs" % total_seconds)
+
+    if args.bench_out:
+        bench = {
+            "schema": 1,
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "point_cache": not args.no_point_cache,
+            "cpu_count": os.cpu_count(),
+            "python": "%d.%d.%d" % sys.version_info[:3],
+            "code_fingerprint": pool.code_fingerprint()[:16],
+            "total_seconds": round(total_seconds, 3),
+            "experiments": telemetry,
+        }
+        with open(args.bench_out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0
 
 

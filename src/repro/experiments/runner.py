@@ -21,6 +21,7 @@ cache, buffer pool and counters between runs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -75,6 +76,28 @@ class ExperimentResult:
         with open(path, "w", newline="") as handle:
             handle.write(self.to_csv())
 
+    def to_json(self) -> str:
+        """The result as a JSON document (name, title, headers, rows, notes)."""
+        import json
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_json` output to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
 
 def adaptive_queries(num_top: int, requested: Optional[int] = None) -> int:
     """Number of retrieves to run for a NumTop point.
@@ -91,7 +114,13 @@ def adaptive_queries(num_top: int, requested: Optional[int] = None) -> int:
 
 
 class DatabaseCache:
-    """Reuses built databases across sweep points with the same shape."""
+    """Reuses built databases across sweep points with the same shape.
+
+    ``max_entries`` bounds the cache (least-recently-used eviction) so a
+    long sweep — or a pool worker that sees many shapes — cannot hold
+    every database it ever built.  Rebuilding an evicted database is
+    fully deterministic, so a bound never changes measured results.
+    """
 
     #: Parameters that change the stored data (anything else can vary
     #: between runs against one database).
@@ -110,20 +139,61 @@ class DatabaseCache:
         "seed",
     )
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple, Any] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.max_entries = max_entries
 
-    def shape_key(self, params: WorkloadParams, clustering: bool, cache: bool) -> Tuple:
+    def shape_key(
+        self,
+        params: WorkloadParams,
+        clustering: bool,
+        cache: bool,
+        procedural: bool = False,
+    ) -> Tuple:
         values = tuple(getattr(params, name) for name in self.SHAPE_FIELDS)
-        return values + (clustering, cache)
+        return values + (clustering, cache, procedural)
 
-    def get(self, params: WorkloadParams, clustering: bool = False, cache: bool = False):
-        key = self.shape_key(params, clustering, cache)
+    def get(
+        self,
+        params: WorkloadParams,
+        clustering: bool = False,
+        cache: bool = False,
+        procedural: bool = False,
+    ):
+        key = self.shape_key(params, clustering, cache, procedural)
         db = self._cache.get(key)
         if db is None:
-            db = build_database(params, clustering=clustering, cache=cache)
+            db = build_database(
+                params, clustering=clustering, cache=cache, procedural=procedural
+            )
             self._cache[key] = db
+            self._evict_over_bound()
+        elif self.max_entries is not None:
+            self._cache.move_to_end(key)
         return db
+
+    def get_deep(self, params):
+        """Build/reuse a deep-hierarchy database for ``DeepParams``."""
+        from repro.workload.deepgen import build_deep_database
+
+        key = ("deep", params)
+        db = self._cache.get(key)
+        if db is None:
+            db = build_deep_database(params)
+            self._cache[key] = db
+            self._evict_over_bound()
+        elif self.max_entries is not None:
+            self._cache.move_to_end(key)
+        return db
+
+    def _evict_over_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
     def clear(self) -> None:
         self._cache.clear()
@@ -143,7 +213,24 @@ def run_point(
 
     ``warmup_fraction`` runs that leading share of the sequence
     unmeasured (steady-state approximation for short sequences).
+
+    The common (``sequence=None``) case delegates to the sweep engine's
+    executor in :mod:`repro.experiments.pool`, so one-off points and
+    pooled sweeps share a single measurement code path.
     """
+    if sequence is None:
+        from repro.experiments.pool import SweepPoint, _execute_workload
+
+        point = SweepPoint(
+            params=params,
+            strategy=strategy_name,
+            num_retrieves=num_retrieves,
+            cold_retrieves=cold_retrieves,
+            warmup_fraction=warmup_fraction,
+            strategy_kwargs=tuple(sorted(strategy_kwargs.items())),
+        )
+        return _execute_workload(point, db_cache)
+    # Caller-supplied sequence: run it directly.
     strategy = make_strategy(strategy_name, **strategy_kwargs)
     if db_cache is None:
         db_cache = DatabaseCache()
@@ -155,12 +242,6 @@ def run_point(
     if strategy_name == "DFSCACHE-INSIDE" and db.inside_cache is None:
         db.enable_inside_cache(
             params.size_cache, unit_bytes_hint=params.size_unit * params.child_bytes
-        )
-    if sequence is None:
-        sequence = generate_sequence(
-            params,
-            db,
-            num_retrieves=adaptive_queries(params.num_top, num_retrieves),
         )
     warmup = int(len(sequence) * warmup_fraction)
     return run_sequence(

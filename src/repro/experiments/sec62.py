@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.runner import DatabaseCache, ExperimentResult, run_point
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.params import WorkloadParams
 
 STRATEGIES = ("DFS", "BFS", "DFSCACHE")
@@ -31,19 +32,28 @@ def run(
     num_retrieves: Optional[int] = None,
     num_child_rels: Sequence[int] = NUM_CHILD_RELS,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per NumChildRel with each strategy's average cost."""
     base = params or default_params(scale)
     num_top = max(1, round(base.num_parents * NUM_TOP_FRACTION))
-    db_cache = DatabaseCache()
+    points = [
+        SweepPoint(
+            params=base.replace(num_child_rels=ncr, num_top=num_top),
+            strategy=name,
+            num_retrieves=num_retrieves,
+        )
+        for ncr in num_child_rels
+        for name in STRATEGIES
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
 
     rows: List[List] = []
     for ncr in num_child_rels:
-        point = base.replace(num_child_rels=ncr, num_top=num_top)
         row: List = [ncr]
-        for name in STRATEGIES:
-            report = run_point(point, name, db_cache, num_retrieves=num_retrieves)
-            row.append(round(report.avg_io_per_retrieve, 1))
+        for _ in STRATEGIES:
+            row.append(round(next(reports).avg_io_per_retrieve, 1))
         rows.append(row)
 
     return ExperimentResult(

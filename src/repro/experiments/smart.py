@@ -11,11 +11,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.runner import DatabaseCache, ExperimentResult
-from repro.workload.driver import run_sequence
+from repro.experiments.pool import PointCache, SweepPoint, run_sweep
+from repro.experiments.runner import ExperimentResult
 from repro.workload.params import WorkloadParams
-from repro.workload.queries import generate_mixed_sequence
-from repro.core.strategies.base import make_strategy
 
 STRATEGIES = ("BFS", "DFSCACHE", "SMART")
 PR_UPDATES = (0.0, 0.2, 0.5)
@@ -38,6 +36,8 @@ def run(
     num_retrieves: Optional[int] = None,
     pr_updates: Sequence[float] = PR_UPDATES,
     params: Optional[WorkloadParams] = None,
+    jobs: int = 1,
+    point_cache: Optional[PointCache] = None,
 ) -> ExperimentResult:
     """One row per Pr(UPDATE) with each strategy's mixed-workload cost."""
     base = params or default_params(scale)
@@ -46,22 +46,29 @@ def run(
     )
     threshold = max(1, base.num_parents * 3 // 100)  # N scaled like N=300/10000
     retrieves = num_retrieves if num_retrieves is not None else 60
-    db_cache = DatabaseCache()
+    # Every strategy (BFS included) runs against the same cache-enabled
+    # database, as the paper's comparison does — hence db_cache=True.
+    points = [
+        SweepPoint(
+            params=base.replace(pr_update=pr_update),
+            strategy=name,
+            sequence="mixed",
+            mix_num_tops=tuple(num_tops),
+            num_retrieves=retrieves + WARMUP,
+            warmup=WARMUP,
+            db_cache=True,
+            strategy_kwargs=(("threshold", threshold),) if name == "SMART" else (),
+        )
+        for pr_update in pr_updates
+        for name in STRATEGIES
+    ]
+    reports = iter(run_sweep(points, jobs=jobs, cache=point_cache))
 
     rows: List[List] = []
     for pr_update in pr_updates:
-        point = base.replace(pr_update=pr_update)
-        db = db_cache.get(point, clustering=False, cache=True)
-        sequence = generate_mixed_sequence(
-            point, num_tops, db, num_retrieves=retrieves + WARMUP
-        )
         row: List = [pr_update]
-        for name in STRATEGIES:
-            kwargs = {"threshold": threshold} if name == "SMART" else {}
-            report = run_sequence(
-                db, make_strategy(name, **kwargs), sequence, warmup=WARMUP
-            )
-            row.append(round(report.avg_io_per_retrieve, 1))
+        for _ in STRATEGIES:
+            row.append(round(next(reports).avg_io_per_retrieve, 1))
         rows.append(row)
 
     return ExperimentResult(

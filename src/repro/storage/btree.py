@@ -135,6 +135,13 @@ class BTreeFile:
         self._first_leaf: Optional[int] = None
         self._num_records = 0
         self.height = 0
+        # Memoized key columns, keyed by page_no and guarded by the
+        # page's mutation counter: page_no -> (page.version, keys).
+        # Extracting keys is pure computation (no I/O is skipped — the
+        # page itself is still fetched through the buffer pool), but it
+        # dominated profile time on B-tree-heavy sweeps.
+        self._leaf_key_cache: Dict[int, Tuple[int, List[Any]]] = {}
+        self._sep_cache: Dict[int, Tuple[int, List[Any]]] = {}
 
     # ------------------------------------------------------------------
     # properties
@@ -242,7 +249,23 @@ class BTreeFile:
         return self.pool.fetch(PageId(self.file_id, page_no))
 
     def _leaf_keys(self, page: Page) -> List[Any]:
-        return [self._key(r) for r in page.records]
+        page_no = page.page_id.page_no
+        cached = self._leaf_key_cache.get(page_no)
+        if cached is not None and cached[0] == page.version:
+            return cached[1]
+        key_index = self._key_index
+        keys = [r[key_index] for r in page.records]
+        self._leaf_key_cache[page_no] = (page.version, keys)
+        return keys
+
+    def _separators(self, page: Page) -> List[Any]:
+        page_no = page.page_id.page_no
+        cached = self._sep_cache.get(page_no)
+        if cached is not None and cached[0] == page.version:
+            return cached[1]
+        seps = [entry[0] for entry in page.records]
+        self._sep_cache[page_no] = (page.version, seps)
+        return seps
 
     def _descend(self, key: Any) -> List[int]:
         """Return the page-number path from root to the leaf for ``key``."""
@@ -252,7 +275,7 @@ class BTreeFile:
         node = self._root
         while not self._meta[node].is_leaf:
             page = self._fetch(node)
-            seps = [entry[0] for entry in page.records]
+            seps = self._separators(page)
             # Child i covers keys in [seps[i], seps[i+1]).
             idx = bisect.bisect_right(seps, key) - 1
             if idx < 0:
@@ -311,11 +334,12 @@ class BTreeFile:
             slot = 0
         else:
             page_no, slot = self._find_leaf_slot(lo)
+        key_index = self._key_index
         while page_no is not None:
             page = self._fetch(page_no)
             while slot < len(page):
                 record = page.get(slot)
-                key = self._key(record)
+                key = record[key_index]
                 if hi is not None:
                     if include_hi and key > hi:
                         return
@@ -406,7 +430,7 @@ class BTreeFile:
             return
         node_no = path[-1]
         page = self._fetch(node_no)
-        seps = [entry[0] for entry in page.records]
+        seps = self._separators(page)
         slot = bisect.bisect_right(seps, sep)
         if page.fits(INDEX_ENTRY_BYTES):
             page.insert_at(slot, (sep, child_no), INDEX_ENTRY_BYTES)

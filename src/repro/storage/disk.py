@@ -93,6 +93,15 @@ class DiskManager:
         self._require_file(file_id)
         self._files[file_id] = []
 
+    def shrink_file(self, file_id: int, num_pages: int) -> None:
+        """Drop every page past the first ``num_pages`` of ``file_id``.
+
+        Deallocation is metadata work, like :meth:`allocate_page`; no I/O
+        is charged.
+        """
+        self._require_file(file_id)
+        del self._files[file_id][num_pages:]
+
     def file_exists(self, file_id: int) -> bool:
         return file_id in self._files
 

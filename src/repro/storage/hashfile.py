@@ -174,17 +174,28 @@ class HashFile:
                     yield record
 
     def truncate(self) -> None:
-        """Remove every record, keeping primary pages allocated."""
+        """Remove every record, keeping only the primary pages allocated.
+
+        A truncated file must be physically indistinguishable from a
+        freshly created one: re-grabbing a free-listed overflow page costs
+        a read where appending a new page does not, so leaving history
+        behind would make measured costs depend on how the file was used
+        before the reset.  Overflow pages (chained or free-listed) are
+        therefore deallocated outright.
+        """
         for bucket in range(self.buckets):
-            for page_no in list(self._chain(bucket)):
-                page_id = PageId(self.file_id, page_no)
-                page = self.pool.fetch(page_id)
-                if len(page):
-                    page.pop_all()
-                    self.pool.mark_dirty(page_id)
-        for page_no in list(self._overflow_next.values()):
-            self._free_overflow.append(page_no)
+            page_id = PageId(self.file_id, bucket)
+            page = self.pool.fetch(page_id)
+            if len(page):
+                page.pop_all()
+                self.pool.mark_dirty(page_id)
+        overflow = set(self._overflow_next.values())
+        overflow.update(self._free_overflow)
+        for page_no in sorted(overflow):
+            self.pool.invalidate_page(PageId(self.file_id, page_no))
         self._overflow_next.clear()
+        self._free_overflow = []
+        self.pool.disk.shrink_file(self.file_id, self.buckets)
         self._num_records = 0
 
     # ------------------------------------------------------------------

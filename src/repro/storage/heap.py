@@ -37,6 +37,10 @@ class HeapFile:
         self.name = name
         self.file_id = pool.disk.create_file(name)
         self._num_records = 0
+        # Mirror of the tail page number (None while the file is empty);
+        # the heap is the only writer of its file, so this avoids asking
+        # the disk manager for the page count on every insert.
+        self._tail_page_no: Optional[int] = None
 
     # ------------------------------------------------------------------
     # properties
@@ -56,9 +60,8 @@ class HeapFile:
         """Append ``record`` to the tail page; return its address."""
         self.schema.validate(record)
         size = self.schema.record_size(record)
-        num_pages = self.num_pages
-        if num_pages:
-            tail_id = PageId(self.file_id, num_pages - 1)
+        if self._tail_page_no is not None:
+            tail_id = PageId(self.file_id, self._tail_page_no)
             page = self.pool.fetch(tail_id)
             if page.fits(size):
                 slot = page.insert(record, size)
@@ -66,6 +69,7 @@ class HeapFile:
                 self._num_records += 1
                 return RecordId(tail_id.page_no, slot)
         page = self.pool.new_page(self.file_id)
+        self._tail_page_no = page.page_id.page_no
         slot = page.insert(record, size)
         self._num_records += 1
         return RecordId(page.page_id.page_no, slot)
@@ -93,12 +97,14 @@ class HeapFile:
         self.pool.invalidate_file(self.file_id)
         self.pool.disk.truncate_file(self.file_id)
         self._num_records = 0
+        self._tail_page_no = None
 
     def drop(self) -> None:
         """Destroy the file entirely.  The heap must not be used afterwards."""
         self.pool.invalidate_file(self.file_id)
         self.pool.disk.drop_file(self.file_id)
         self._num_records = 0
+        self._tail_page_no = None
 
     # ------------------------------------------------------------------
     # access

@@ -46,7 +46,7 @@ class Page:
     addresses (the B-tree, which is static after bulk load) never delete.
     """
 
-    __slots__ = ("page_id", "capacity", "used_bytes", "records", "_sizes")
+    __slots__ = ("page_id", "capacity", "used_bytes", "records", "_sizes", "version")
 
     def __init__(self, page_id: PageId, capacity: int = DEFAULT_PAGE_SIZE) -> None:
         if capacity <= PAGE_HEADER_BYTES:
@@ -56,6 +56,9 @@ class Page:
         self.used_bytes = PAGE_HEADER_BYTES
         self.records: List[Any] = []
         self._sizes: List[int] = []
+        #: Bumped on every mutation; lets access methods cache derived
+        #: views of a page (e.g. the B-tree's key column) safely.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # capacity & mutation
@@ -83,6 +86,7 @@ class Page:
         self.records.append(record)
         self._sizes.append(record_size)
         self.used_bytes += record_size + SLOT_BYTES
+        self.version += 1
         return len(self.records) - 1
 
     def insert_at(self, slot: int, record: Any, record_size: int) -> None:
@@ -97,6 +101,7 @@ class Page:
         self.records.insert(slot, record)
         self._sizes.insert(slot, record_size)
         self.used_bytes += record_size + SLOT_BYTES
+        self.version += 1
 
     def replace(self, slot: int, record: Any, record_size: Optional[int] = None) -> None:
         """Overwrite the record in ``slot`` (in-place update).
@@ -116,12 +121,14 @@ class Page:
         self.records[slot] = record
         self._sizes[slot] = new_size
         self.used_bytes += growth
+        self.version += 1
 
     def delete(self, slot: int) -> Any:
         """Remove and return the record in ``slot`` (compacting the page)."""
         record = self.records.pop(slot)
         size = self._sizes.pop(slot)
         self.used_bytes -= size + SLOT_BYTES
+        self.version += 1
         return record
 
     def pop_all(self) -> List[Any]:
@@ -130,6 +137,7 @@ class Page:
         self.records = []
         self._sizes = []
         self.used_bytes = PAGE_HEADER_BYTES
+        self.version += 1
         return records
 
     # ------------------------------------------------------------------

@@ -37,6 +37,12 @@ INT_BYTES = 4
 class Field:
     """Base class for schema fields.  Subclasses define size and checking."""
 
+    #: Stored byte size when it is value-independent (e.g. 4 for an
+    #: integer, the declared width for an uncompressed char field);
+    #: ``None`` when the size depends on the value.  Schemas whose
+    #: fields are all fixed-size skip per-record size computation.
+    fixed_size: Optional[int] = None
+
     def __init__(self, name: str) -> None:
         if not name or not isinstance(name, str):
             raise RecordError("field name must be a non-empty string")
@@ -54,6 +60,8 @@ class Field:
 
 class IntField(Field):
     """A 4-byte integer attribute (``retl``, ``ret2``, ``ret3``, OIDs...)."""
+
+    fixed_size = INT_BYTES
 
     def size_of(self, value: Any) -> int:
         return INT_BYTES
@@ -77,6 +85,8 @@ class CharField(Field):
             raise RecordError("char field %r needs positive width" % name)
         self.width = width
         self.compressed = compressed
+        if not compressed:
+            self.fixed_size = width
 
     def size_of(self, value: Any) -> int:
         if not self.compressed:
@@ -160,6 +170,10 @@ class Schema:
             raise RecordError("duplicate field names in schema: %r" % (names,))
         self.fields: Tuple[Field, ...] = tuple(fields)
         self._index = {f.name: i for i, f in enumerate(fields)}
+        sizes = [f.fixed_size for f in self.fields]
+        self._fixed_record_size: Optional[int] = (
+            sum(sizes) if all(s is not None for s in sizes) else None  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     def field_index(self, name: str) -> int:
@@ -191,6 +205,8 @@ class Schema:
 
     def record_size(self, record: Sequence[Any]) -> int:
         """Bytes the record occupies on a page (excluding the slot entry)."""
+        if self._fixed_record_size is not None:
+            return self._fixed_record_size
         return sum(field.size_of(value) for field, value in zip(self.fields, record))
 
     def value(self, record: Sequence[Any], name: str) -> Any:

@@ -1,0 +1,150 @@
+"""The sweep engine: determinism, parallel fan-out, and the point cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import pool
+from repro.experiments.pool import PointCache, SweepPoint, point_key, run_sweep
+from repro.experiments.runner import DatabaseCache
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture
+def params(tiny_params):
+    return tiny_params
+
+
+def _point(params, strategy="BFS", **kwargs):
+    return SweepPoint(params=params, strategy=strategy, num_retrieves=4, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_point_twice_through_one_database_cache(self, params):
+        """Re-running a point against a reused database is bit-identical.
+
+        This guards the driver's reset contract: run_sequence(reset=True)
+        must leave no state behind that could shift a later measurement.
+        """
+        db_cache = DatabaseCache()
+        first = pool.execute_point(_point(params), db_cache)
+        second = pool.execute_point(_point(params), db_cache)
+        assert first == second
+
+    def test_reused_database_matches_fresh_database(self, params):
+        point = _point(params, strategy="DFSCACHE")
+        shared = DatabaseCache()
+        pool.execute_point(_point(params, strategy="DFSCACHE"), shared)
+        reused = pool.execute_point(point, shared)
+        fresh = pool.execute_point(point, DatabaseCache())
+        assert reused == fresh
+
+    def test_parallel_run_matches_serial(self, params):
+        points = [
+            _point(params.replace(num_top=num_top), strategy)
+            for num_top in (2, 10)
+            for strategy in ("DFS", "BFS", "DFSCACHE")
+        ]
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=2)
+        assert [dataclasses.asdict(r) for r in serial] == [
+            dataclasses.asdict(r) for r in parallel
+        ]
+
+    def test_bounded_worker_cache_does_not_change_results(self, params):
+        point = _point(params)
+        unbounded = pool.execute_point(point, DatabaseCache())
+        bounded = pool.execute_point(point, DatabaseCache(max_entries=1))
+        assert unbounded == bounded
+
+
+class TestRunSweep:
+    def test_results_in_input_order(self, params):
+        points = [
+            _point(params.replace(num_top=num_top), name)
+            for num_top in (10, 2)
+            for name in ("DFS", "BFS")
+        ]
+        reports = run_sweep(points)
+        assert [r.strategy for r in reports] == ["DFS", "BFS", "DFS", "BFS"]
+        # Spot-check against direct execution of one mid-list point.
+        direct = pool._payload_to_result(pool.execute_point(points[2]))
+        assert dataclasses.asdict(reports[2]) == dataclasses.asdict(direct)
+
+    def test_deep_points_return_floats(self):
+        from repro.workload.deepgen import DeepParams
+
+        base = DeepParams(num_roots=60, depth=2, use_factor=3, buffer_pages=20)
+        points = [
+            SweepPoint(
+                kind="deep",
+                deep_params=base,
+                depth=depth,
+                span=3,
+                queries=2,
+                runner=runner,
+            )
+            for depth in (1, 2)
+            for runner in ("dfs", "bfs", "nodup")
+        ]
+        results = run_sweep(points)
+        assert len(results) == 6
+        assert all(isinstance(value, float) for value in results)
+
+    def test_sweep_log_records_telemetry(self, params):
+        before = len(pool.SWEEP_LOG)
+        run_sweep([_point(params)])
+        entry = pool.SWEEP_LOG[-1]
+        assert len(pool.SWEEP_LOG) == before + 1
+        assert entry["points"] == 1
+        assert entry["executed"] == 1
+        assert entry["cache_hits"] == 0
+        assert entry["seconds"] >= 0
+
+
+class TestPointKey:
+    def test_stable_across_equal_points(self, params):
+        assert point_key(_point(params)) == point_key(_point(params))
+
+    def test_sensitive_to_every_option(self, params):
+        base = _point(params)
+        variants = [
+            _point(params, strategy="DFS"),
+            _point(params.replace(num_top=3)),
+            SweepPoint(params=params, strategy="BFS", num_retrieves=5),
+            _point(params, cold_retrieves=True),
+            _point(params, warmup=2),
+            _point(params, db_cache=True),
+            _point(params, strategy_kwargs=(("threshold", 7),)),
+        ]
+        keys = {point_key(p) for p in variants}
+        assert point_key(base) not in keys
+        assert len(keys) == len(variants)
+
+
+class TestPointCache:
+    def test_second_run_is_all_hits_and_identical(self, params, tmp_path):
+        points = [_point(params, name) for name in ("DFS", "BFS")]
+        cache = PointCache(str(tmp_path))
+        cold = run_sweep(points, cache=cache)
+        assert (cache.hits, cache.stores) == (0, 2)
+
+        warm_cache = PointCache(str(tmp_path))
+        assert len(warm_cache) == 2
+        warm = run_sweep(points, cache=warm_cache)
+        assert warm_cache.hits == 2
+        assert [dataclasses.asdict(r) for r in cold] == [
+            dataclasses.asdict(r) for r in warm
+        ]
+
+    def test_torn_tail_line_is_skipped(self, params, tmp_path):
+        cache = PointCache(str(tmp_path))
+        run_sweep([_point(params)], cache=cache)
+        with open(cache.path, "a") as handle:
+            handle.write('{"key": "truncated-entr')
+        reloaded = PointCache(str(tmp_path))
+        assert len(reloaded) == 1
+
+    def test_cache_files_are_per_fingerprint(self, tmp_path, monkeypatch):
+        cache = PointCache(str(tmp_path))
+        assert cache.fingerprint[:16] in cache.path

@@ -1,5 +1,6 @@
 """The report runner."""
 
+import json
 import os
 
 import pytest
@@ -42,19 +43,68 @@ class TestSuite:
 
 class TestMain:
     def test_writes_requested_outputs(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
         code = report.main(
             [
                 "--scale",
                 "0.05",
                 "--out",
-                str(tmp_path),
+                str(tmp_path / "out"),
                 "--only",
                 "ablation_buffer_policy",
+                "--bench-out",
+                str(bench),
             ]
         )
         assert code == 0
-        written = os.listdir(tmp_path)
-        assert written == ["ablation_buffer_policy.txt"]
+        written = sorted(os.listdir(tmp_path / "out"))
+        assert written == [
+            ".pointcache",
+            "ablation_buffer_policy.json",
+            "ablation_buffer_policy.txt",
+        ]
         out = capsys.readouterr().out
         assert "A4" in out
         assert "total:" in out
+        # Telemetry: one entry per experiment, with point counts.
+        payload = json.loads(bench.read_text())
+        assert payload["jobs"] == 1
+        (entry,) = payload["experiments"]
+        assert entry["name"] == "ablation_buffer_policy"
+        assert entry["points"] == entry["executed"] + entry["cache_hits"]
+        assert entry["points"] > 0
+
+    def test_point_cache_memoizes_across_runs(self, tmp_path):
+        argv = [
+            "--scale",
+            "0.05",
+            "--out",
+            str(tmp_path / "out"),
+            "--only",
+            "ablation_buffer_policy",
+            "--bench-out",
+        ]
+        assert report.main(argv + [str(tmp_path / "cold.json")]) == 0
+        assert report.main(argv + [str(tmp_path / "warm.json")]) == 0
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert cold["experiments"][0]["cache_hits"] == 0
+        assert warm["experiments"][0]["executed"] == 0
+        assert (
+            warm["experiments"][0]["cache_hits"]
+            == cold["experiments"][0]["executed"]
+        )
+
+    def test_unknown_only_name_errors(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            report.main(
+                [
+                    "--out",
+                    str(tmp_path),
+                    "--bench-out",
+                    "",
+                    "--only",
+                    "no_such_experiment",
+                ]
+            )
+        assert excinfo.value.code == 2

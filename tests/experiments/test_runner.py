@@ -64,6 +64,22 @@ class TestDatabaseCache:
         cache.clear()
         assert cache.get(tiny_params) is not a
 
+    def test_bounded_cache_evicts_least_recently_used(self, tiny_params):
+        cache = DatabaseCache(max_entries=2)
+        a = cache.get(tiny_params)
+        cache.get(tiny_params.replace(use_factor=2))
+        assert cache.get(tiny_params) is a  # refreshes a's recency
+        cache.get(tiny_params.replace(use_factor=3))  # evicts use_factor=2
+        assert len(cache) == 2
+        assert cache.get(tiny_params) is a
+
+    def test_get_deep_reuses_database(self):
+        from repro.workload.deepgen import DeepParams
+
+        cache = DatabaseCache()
+        base = DeepParams(num_roots=40, depth=2, use_factor=3)
+        assert cache.get_deep(base) is cache.get_deep(base)
+
 
 class TestRunPoint:
     def test_runs_any_registered_strategy(self, tiny_params):
@@ -97,6 +113,38 @@ class TestExperimentResult:
 
     def test_as_dicts(self):
         assert self.make().as_dicts()[0] == {"a": 1, "b": 2}
+
+
+class TestJsonExport:
+    def make(self):
+        return ExperimentResult(
+            name="x",
+            title="T",
+            headers=["a", "b"],
+            rows=[[1, 2.5], [3, "z"]],
+            notes=["n"],
+        )
+
+    def test_to_json_roundtrip(self):
+        import json
+
+        payload = json.loads(self.make().to_json())
+        assert payload == {
+            "name": "x",
+            "title": "T",
+            "headers": ["a", "b"],
+            "rows": [[1, 2.5], [3, "z"]],
+            "notes": ["n"],
+        }
+
+    def test_write_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "out.json"
+        self.make().write_json(str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["name"] == "x"
 
 
 class TestCsvExport:
