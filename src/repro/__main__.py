@@ -7,6 +7,7 @@ Usage::
     python -m repro report --scale 0.5        # every figure/table
     python -m repro footprint --scale 0.1     # storage requirements
     python -m repro explain --strategy BFS --num-top 200
+    python -m repro trace --strategy DFSCACHE --scale 0.05
 """
 
 from __future__ import annotations
@@ -104,7 +105,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core.explain import explain
+    from repro.core.explain import explain, measured_explain
     from repro.core.queries import RetrieveQuery
 
     params = _params_from_args(args)
@@ -115,8 +116,95 @@ def cmd_explain(args: argparse.Namespace) -> int:
         cache=strategy_cls.uses_cache or args.strategy.startswith("PROC"),
         procedural=args.strategy.startswith("PROC"),
     )
+    if args.strategy == "DFSCACHE-INSIDE":
+        db.enable_inside_cache(
+            params.size_cache,
+            unit_bytes_hint=params.size_unit * params.child_bytes,
+        )
     query = RetrieveQuery(0, params.num_top - 1, "ret1")
-    print(explain(args.strategy, db, query))
+    if getattr(args, "measure", False):
+        print(measured_explain(args.strategy, db, query))
+    else:
+        print(explain(args.strategy, db, query))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.strategies.base import make_strategy
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.workload.driver import run_sequence
+    from repro.workload.queries import generate_sequence
+
+    params = _params_from_args(args)
+    strategy = make_strategy(args.strategy)
+    procedural = args.strategy.startswith("PROC")
+    want_cache = procedural or (
+        strategy.uses_cache and args.strategy != "DFSCACHE-INSIDE"
+    )
+    db = build_database(
+        params,
+        clustering=strategy.uses_clustering,
+        cache=want_cache,
+        procedural=procedural,
+    )
+    if args.strategy == "DFSCACHE-INSIDE":
+        db.enable_inside_cache(
+            params.size_cache,
+            unit_bytes_hint=params.size_unit * params.child_bytes,
+        )
+    sequence = generate_sequence(params, db)
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry, keep_events=True)
+    # run_sequence self-validates: it raises TraceValidationError unless
+    # the traced totals equal the report's own cost accounting.
+    report = run_sequence(db, strategy, sequence, tracer=tracer)
+    summary = report.traced
+
+    print(format_kv([
+        ("strategy", report.strategy),
+        ("operations", report.num_retrieves + report.num_updates),
+        ("traced events", summary["events"]),
+        ("page reads", summary["reads"]),
+        ("page writes", summary["writes"]),
+        ("avg I/O per retrieve", round(report.avg_io_per_retrieve, 2)),
+        ("event digest", summary["digest"][:16]),
+    ]))
+    for title, field in (
+        ("page kind", "by_kind"),
+        ("phase", "by_phase"),
+        ("stage", "by_stage"),
+        ("relation", "by_relation"),
+    ):
+        rows = [[name, count] for name, count in sorted(summary[field].items())]
+        print()
+        print(format_table([title, "pages"], rows))
+    measured = summary["measured"]
+    print()
+    print(format_kv([
+        ("ParCost (traced)", measured["par_cost"]),
+        ("ChildCost (traced)", measured["child_cost"]),
+        ("update cost (traced)", measured["update_cost"]),
+        ("self-check", "traced totals equal reported costs"),
+    ]))
+    if report.buffer_stats:
+        stats = report.buffer_stats
+        print()
+        print(format_kv([
+            ("buffer accesses", stats["hits"] + stats["misses"]),
+            ("buffer hit rate", round(report.buffer_hit_rate, 3)),
+            ("evictions", stats["evictions"]),
+            ("dirty evictions", stats["dirty_evictions"]),
+        ]))
+    if args.out:
+        tracer.write_jsonl(args.out)
+        print("\nwrote %d events to %s" % (summary["events"], args.out))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(registry.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote metrics registry to %s" % args.metrics_out)
     return 0
 
 
@@ -167,6 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--strategy", required=True, choices=sorted(REGISTRY))
     explain_cmd.add_argument("--scale", type=float, default=0.1)
     explain_cmd.add_argument("--num-top", dest="num_top", type=int)
+    explain_cmd.add_argument(
+        "--measure",
+        action="store_true",
+        help="also run the query traced and print measured page counts "
+        "next to the estimates (divergence > 10%% is flagged)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one strategy traced; print the I/O breakdown"
+    )
+    trace.add_argument("--strategy", required=True, choices=sorted(REGISTRY))
+    trace.add_argument("--scale", type=float, default=0.05)
+    trace.add_argument("--num-top", dest="num_top", type=int)
+    trace.add_argument("--pr-update", dest="pr_update", type=float)
+    trace.add_argument("--use-factor", dest="use_factor", type=int)
+    trace.add_argument("--overlap-factor", dest="overlap_factor", type=int)
+    trace.add_argument("--num-queries", dest="num_queries", type=int)
+    trace.add_argument("--seed", type=int)
+    trace.add_argument("--out", default=None,
+                       help="write the raw event stream as JSON lines")
+    trace.add_argument("--metrics-out", dest="metrics_out", default=None,
+                       help="write the metrics registry as JSON")
 
     return parser
 
@@ -179,6 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "report": cmd_report,
         "footprint": cmd_footprint,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

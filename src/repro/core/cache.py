@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.trace import stage
 from repro.storage.catalog import Catalog
 from repro.storage.hashfile import HashFile, stable_hash
 from repro.storage.record import BlobField, IntField, Schema
@@ -151,7 +152,8 @@ class UnitCache:
     # ------------------------------------------------------------------
     def lookup(self, hashkey: int) -> Optional[Tuple[Any, ...]]:
         """The cached child tuples for ``hashkey``, or None on a miss."""
-        record = self.relation.lookup(hashkey)
+        with stage("cache-probe"):
+            record = self.relation.lookup(hashkey)
         if record is None:
             self.stats.misses += 1
             return None
@@ -184,14 +186,15 @@ class UnitCache:
         """Cache a freshly materialised unit, evicting LRU units if full."""
         if hashkey in self._lru:
             return  # already cached (shared unit raced in via another parent)
-        while len(self._lru) >= self.size_cache:
-            victim, (victim_rel, victim_keys) = self._lru.popitem(last=False)
-            self.relation.delete_if_present(victim)
-            self.ilocks.unregister(victim_rel, victim_keys, victim)
-            self.stats.evictions += 1
-        self._payload_sizes[id(payload)] = payload_bytes
-        self.relation.insert((hashkey, payload))
-        self._payload_sizes.pop(id(payload), None)
+        with stage("cache-maintain"):
+            while len(self._lru) >= self.size_cache:
+                victim, (victim_rel, victim_keys) = self._lru.popitem(last=False)
+                self.relation.delete_if_present(victim)
+                self.ilocks.unregister(victim_rel, victim_keys, victim)
+                self.stats.evictions += 1
+            self._payload_sizes[id(payload)] = payload_bytes
+            self.relation.insert((hashkey, payload))
+            self._payload_sizes.pop(id(payload), None)
         self._lru[hashkey] = (child_rel, tuple(child_keys))
         self.ilocks.register(child_rel, child_keys, hashkey)
         self.stats.insertions += 1
@@ -204,13 +207,14 @@ class UnitCache:
         (Section 5.2.1).
         """
         count = 0
-        for hashkey in self.ilocks.holders(child_rel, child_key):
-            entry = self._lru.pop(hashkey, None)
-            if entry is None:
-                continue
-            self.relation.delete_if_present(hashkey)
-            self.ilocks.unregister(entry[0], entry[1], hashkey)
-            count += 1
+        with stage("cache-maintain"):
+            for hashkey in self.ilocks.holders(child_rel, child_key):
+                entry = self._lru.pop(hashkey, None)
+                if entry is None:
+                    continue
+                self.relation.delete_if_present(hashkey)
+                self.ilocks.unregister(entry[0], entry[1], hashkey)
+                count += 1
         self.stats.invalidations += count
         return count
 

@@ -17,7 +17,7 @@ optimizer-grade numbers that drive the Figure 4 trade-offs.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.database import ComplexObjectDB
 from repro.core.queries import RetrieveQuery
@@ -162,4 +162,81 @@ def explain(
         ]
     else:  # pragma: no cover - future strategies
         lines = ["%s: no EXPLAIN template" % strategy_name]
+    return "\n".join(lines)
+
+
+#: Which analytic estimate of ``_stats`` predicts a strategy's measured
+#: ChildCost.  DFS pays ~1 leaf per random fetch; the breadth-first
+#: strategies touch the Cardenas/Yao page count.  Strategies missing here
+#: (cache/cluster/procedural plans) have no single-number child estimate,
+#: so only the parent scan is checked.
+_CHILD_ESTIMATE = {"DFS": "keys", "BFS": "touched", "BFSNODUP": "touched"}
+
+#: Relative divergence between estimate and measurement worth flagging.
+DIVERGENCE_THRESHOLD = 0.10
+
+
+def _estimate_line(label: str, actual: int, estimate: Optional[int]) -> str:
+    line = "    %-14s %6d measured" % (label + ":", actual)
+    if estimate is None:
+        return line
+    line += "  (est ~%d" % estimate
+    divergence = abs(actual - estimate) / max(1, actual)
+    if divergence > DIVERGENCE_THRESHOLD:
+        line += ", DIVERGES %+.0f%%" % (100.0 * (estimate - actual) / max(1, actual))
+    line += ")"
+    return line
+
+
+def measured_explain(
+    strategy_name: str,
+    db: ComplexObjectDB,
+    query: RetrieveQuery,
+    **strategy_kwargs,
+) -> str:
+    """:func:`explain` plus a traced cold run of the same query.
+
+    Runs the strategy once against ``db`` with a :class:`repro.obs.Tracer`
+    attached and appends the measured page counts next to the analytic
+    estimates, flagging any estimate off by more than
+    ``DIVERGENCE_THRESHOLD`` — the observability check that the
+    optimizer-grade numbers EXPLAIN prints actually predict what the
+    executor does.
+    """
+    from repro.core.measure import CostMeter
+    from repro.obs import MetricsRegistry, Tracer
+
+    text = explain(strategy_name, db, query, **strategy_kwargs)
+    strategy = make_strategy(strategy_name, **strategy_kwargs)
+    strategy.check_database(db)
+    db.start_measurement(cold=True)
+    tracer = Tracer(registry=MetricsRegistry(), keep_events=False)
+    tracer.strategy = strategy.name
+    meter = CostMeter(db.disk, tracer=tracer)
+    with tracer.observe(db.disk):
+        tracer.begin_op("retrieve", 0)
+        strategy.retrieve(db, query, meter)
+        tracer.end_op()
+    summary = tracer.summary()
+    measured = summary["measured"]
+    s = _stats(db, query)
+
+    child_key = _CHILD_ESTIMATE.get(strategy_name)
+    parent_estimate = None if strategy_name == "DFSCLUST" else s["parent_pages"]
+    lines = [
+        text,
+        "  measured (traced cold run):",
+        _estimate_line("parent pages", measured["par_cost"], parent_estimate),
+        _estimate_line(
+            "child pages",
+            measured["child_cost"],
+            s[child_key] if child_key else None,
+        ),
+        _estimate_line("total pages", measured["retrieve_io"], None),
+        "    by stage:      "
+        + " ".join(
+            "%s=%d" % (name, pages)
+            for name, pages in sorted(summary["by_stage"].items())
+        ),
+    ]
     return "\n".join(lines)

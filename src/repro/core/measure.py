@@ -28,10 +28,17 @@ UPDATE_PHASE = "update"
 
 
 class CostMeter:
-    """Accumulates per-phase I/O deltas read from a :class:`DiskManager`."""
+    """Accumulates per-phase I/O deltas read from a :class:`DiskManager`.
 
-    def __init__(self, disk: DiskManager) -> None:
+    When a :class:`~repro.obs.trace.Tracer` is supplied, the meter also
+    publishes its active phase to it, so every traced page access
+    carries the parent/child/update attribution the meter is computing —
+    the two views are kept consistent by construction.
+    """
+
+    def __init__(self, disk: DiskManager, tracer: Optional[object] = None) -> None:
         self.disk = disk
+        self.tracer = tracer
         self._phases: Dict[str, IoSnapshot] = {}
         self._active: Optional[str] = None
 
@@ -47,6 +54,9 @@ class CostMeter:
                 "phase %r started while %r active" % (name, self._active)
             )
         self._active = name
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.phase = name
         before = self.disk.snapshot()
         try:
             yield
@@ -54,6 +64,8 @@ class CostMeter:
             delta = self.disk.snapshot() - before
             self._phases[name] = self._phases.get(name, IoSnapshot()) + delta
             self._active = None
+            if tracer is not None:
+                tracer.phase = None
 
     # ------------------------------------------------------------------
     def io(self, name: str) -> IoSnapshot:

@@ -26,6 +26,7 @@ from repro.core.database import ComplexObjectDB
 from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
 from repro.core.queries import RetrieveQuery
 from repro.core.strategies.base import Strategy, register
+from repro.obs.trace import stage
 from repro.query.sort import external_sort
 from repro.query.join import merge_probe_join
 from repro.query.temp import make_temp
@@ -53,7 +54,7 @@ class _BreadthFirst(Strategy):
         # Phase 1: scan qualifying parents, filling one temporary of OIDs
         # per referenced child relation.
         temps: Dict[int, Any] = {}
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             for parent in db.parents_in_range(query.lo, query.hi):
                 for oid in db.children_of(parent):
                     rel_index = oid.rel - 1

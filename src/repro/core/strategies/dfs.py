@@ -19,6 +19,7 @@ from repro.core.database import ComplexObjectDB
 from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
 from repro.core.queries import RetrieveQuery
 from repro.core.strategies.base import Strategy, register
+from repro.obs.trace import stage
 
 
 @register
@@ -35,10 +36,10 @@ class DfsStrategy(Strategy):
     ) -> List[Any]:
         self.check_database(db)
         meter = meter or NullMeter()
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             parents = list(db.parents_in_range(query.lo, query.hi))
         results: List[Any] = []
-        with meter.phase(CHILD_PHASE):
+        with meter.phase(CHILD_PHASE), stage("probe"):
             for parent in parents:
                 for oid in db.children_of(parent):
                     child = db.fetch_child(oid.rel - 1, oid.key)

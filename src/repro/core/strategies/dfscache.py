@@ -21,6 +21,7 @@ from repro.core.database import ComplexObjectDB
 from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
 from repro.core.queries import RetrieveQuery
 from repro.core.strategies.base import Strategy, register
+from repro.obs.trace import stage
 
 
 @register
@@ -39,7 +40,7 @@ class DfsCacheStrategy(Strategy):
         self.check_database(db)
         meter = meter or NullMeter()
         cache = db.require_cache()
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             parents = list(db.parents_in_range(query.lo, query.hi))
         results: List[Any] = []
         with meter.phase(CHILD_PHASE):
@@ -54,10 +55,14 @@ class DfsCacheStrategy(Strategy):
     def _materialize_unit(db, cache, rel_index, child_keys):
         """Cached unit payload, materialising and caching on a miss."""
         hashkey = unit_hashkey(rel_index, child_keys)
-        payload = cache.lookup(hashkey)
+        payload = cache.lookup(hashkey)  # tags itself cache-probe
         if payload is None:
-            children = tuple(db.fetch_child(rel_index, key) for key in child_keys)
+            with stage("probe"):
+                children = tuple(
+                    db.fetch_child(rel_index, key) for key in child_keys
+                )
             payload_bytes = sum(db.child_record_bytes(c) for c in children)
+            # insert tags itself cache-maintain
             cache.insert(hashkey, rel_index, child_keys, children, payload_bytes)
             payload = children
         return payload
@@ -91,7 +96,7 @@ class InsideDfsCacheStrategy(Strategy):
         self.check_database(db)
         meter = meter or NullMeter()
         cache = db.inside_cache
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             parents = list(db.parents_in_range(query.lo, query.hi))
         results: List[Any] = []
         with meter.phase(CHILD_PHASE):
@@ -101,9 +106,10 @@ class InsideDfsCacheStrategy(Strategy):
                 rel_index, child_keys = db.unit_ref_of(parent)
                 payload = cache.lookup(parent_key)
                 if payload is None:
-                    payload = tuple(
-                        db.fetch_child(rel_index, key) for key in child_keys
-                    )
+                    with stage("probe"):
+                        payload = tuple(
+                            db.fetch_child(rel_index, key) for key in child_keys
+                        )
                     payload_bytes = sum(db.child_record_bytes(c) for c in payload)
                     cache.insert(
                         parent_key, rel_index, child_keys, payload, payload_bytes

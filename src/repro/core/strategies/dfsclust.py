@@ -25,6 +25,7 @@ from repro.core.database import ComplexObjectDB
 from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
 from repro.core.queries import RetrieveQuery
 from repro.core.strategies.base import Strategy, register
+from repro.obs.trace import stage
 
 
 @register
@@ -54,7 +55,7 @@ class DfsClustStrategy(Strategy):
         # the buffer pool can make a repeat chase cheap.
         parents: List[Tuple[Any, ...]] = []
         home: Dict[int, Dict[int, Tuple[Any, ...]]] = {}
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             current_parent_ck: Optional[int] = None
             for record in cluster.scan_parent_range(query.lo, query.hi):
                 if cluster.is_parent_record(record):
@@ -65,7 +66,7 @@ class DfsClustStrategy(Strategy):
                     home[current_parent_ck][record[1]] = record
 
         results: List[Any] = []
-        with meter.phase(CHILD_PHASE):
+        with meter.phase(CHILD_PHASE), stage("probe"):
             for parent in parents:
                 own = home.get(parent[0], {})
                 for oid in cluster.children_of(parent):

@@ -36,6 +36,7 @@ from repro.core.measure import CHILD_PHASE, CostMeter, NullMeter, PARENT_PHASE
 from repro.core.queries import RetrieveQuery
 from repro.core.strategies.base import Strategy, register
 from repro.errors import QueryError
+from repro.obs.trace import stage
 from repro.storage.hashfile import stable_hash
 
 
@@ -72,7 +73,7 @@ class _ProceduralBase(Strategy):
         attr_index = db.child_schema.field_index(query.attr)
         ret2_index = db.child_schema.field_index("ret2")
 
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             parents = list(db.parents_in_range(query.lo, query.hi))
 
         results: List[Any] = []
@@ -100,9 +101,10 @@ class _ProceduralBase(Strategy):
         if self.cached_rep == "values":
             results.extend(child[attr_index] for child in payload)
         else:  # cached OIDs: the values still need fetching
-            for rel_index, key in payload:
-                child = db.fetch_child(rel_index, key)
-                results.append(child[attr_index])
+            with stage("probe"):
+                for rel_index, key in payload:
+                    child = db.fetch_child(rel_index, key)
+                    results.append(child[attr_index])
         return True
 
     def _execute_batch(self, db, procedures, attr_index, ret2_index, results):
@@ -115,11 +117,12 @@ class _ProceduralBase(Strategy):
             matches: Dict[Tuple[int, int], List[Tuple[Any, ...]]] = {
                 window: [] for window in windows
             }
-            for child in db.child_rel(rel_index).scan():
-                value = child[ret2_index]
-                window = _covering_window(windows, value)
-                if window is not None:
-                    matches[window].append(child)
+            with stage("scan"):
+                for child in db.child_rel(rel_index).scan():
+                    value = child[ret2_index]
+                    window = _covering_window(windows, value)
+                    if window is not None:
+                        matches[window].append(child)
             for _, lo, hi in group:
                 children = matches[(lo, hi)]
                 results.extend(child[attr_index] for child in children)

@@ -26,6 +26,7 @@ from repro.core.queries import RetrieveQuery
 from repro.core.strategies.base import Strategy, register
 from repro.core.strategies.bfs import TEMP_SCHEMA
 from repro.core.strategies.dfscache import DfsCacheStrategy
+from repro.obs.trace import stage
 from repro.query.join import merge_probe_join
 from repro.query.sort import external_sort
 from repro.query.temp import make_temp
@@ -70,7 +71,7 @@ class SmartStrategy(Strategy):
         cached_units: List[tuple] = []  # (hashkey,)
         uncached: Dict[int, List[int]] = {}
         cached_keys: Dict[int, List[int]] = {}
-        with meter.phase(PARENT_PHASE):
+        with meter.phase(PARENT_PHASE), stage("scan"):
             for parent in db.parents_in_range(query.lo, query.hi):
                 rel_index, child_keys = db.unit_ref_of(parent)
                 hashkey = unit_hashkey(rel_index, child_keys)

@@ -89,6 +89,12 @@ class SweepPoint:
     db_cache: Optional[bool] = None
     db_procedural: bool = False
     strategy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Run the point under a :class:`repro.obs.Tracer` (aggregates only,
+    #: no event list — summaries stay small enough for the point cache).
+    #: The traced summary lands in ``CostReport.traced`` and is
+    #: self-validated against the report before the payload leaves the
+    #: worker.
+    traced: bool = False
     # --- deep points ----------------------------------------------------
     deep_params: Optional[Any] = None  # workload.deepgen.DeepParams
     depth: Optional[int] = None
@@ -280,8 +286,20 @@ def _execute_workload(
         warmup = point.warmup
     else:
         warmup = int(len(sequence) * point.warmup_fraction)
+    tracer = None
+    if point.traced:
+        from repro.obs import MetricsRegistry, Tracer
+
+        # A private registry per point: pooled workers reuse processes,
+        # so the module-global registry would accumulate across points.
+        tracer = Tracer(registry=MetricsRegistry(), keep_events=False)
     return run_sequence(
-        db, strategy, sequence, cold_retrieves=point.cold_retrieves, warmup=warmup
+        db,
+        strategy,
+        sequence,
+        cold_retrieves=point.cold_retrieves,
+        warmup=warmup,
+        tracer=tracer,
     )
 
 
@@ -384,16 +402,40 @@ def run_sweep(
                     cache.put(keys[i], payload)
                 results[i] = _payload_to_result(payload)
 
-    SWEEP_LOG.append(
-        {
-            "points": len(points),
-            "cache_hits": hits,
-            "executed": len(pending),
-            "jobs": jobs,
-            "seconds": time.perf_counter() - t_start,
-        }
-    )
+    entry = {
+        "points": len(points),
+        "cache_hits": hits,
+        "executed": len(pending),
+        "jobs": jobs,
+        "seconds": time.perf_counter() - t_start,
+    }
+    entry.update(_aggregate_reports(results))
+    SWEEP_LOG.append(entry)
     return results
+
+
+def _aggregate_reports(results: Sequence[Any]) -> Dict[str, Any]:
+    """Sweep-level buffer-pool and I/O totals over the CostReport rows.
+
+    Deep points contribute nothing (their result is a bare float); the
+    buffer counters come from each report's :class:`PoolStats` delta, so
+    cached and freshly executed points aggregate identically.
+    """
+    buffer = {"hits": 0, "misses": 0, "evictions": 0, "dirty_evictions": 0}
+    io = {"retrieve": 0, "update": 0, "parent": 0, "child": 0}
+    reports = 0
+    for result in results:
+        if not isinstance(result, CostReport):
+            continue
+        reports += 1
+        io["retrieve"] += result.retrieve_io
+        io["update"] += result.update_io
+        io["parent"] += result.par_cost
+        io["child"] += result.child_cost
+        if result.buffer_stats:
+            for key in buffer:
+                buffer[key] += result.buffer_stats.get(key, 0)
+    return {"reports": reports, "buffer": buffer, "io": io}
 
 
 def _run_parallel(

@@ -88,6 +88,15 @@ def annotate(name: str, result: ExperimentResult) -> str:
     return text
 
 
+def _sum_nested(sweeps: List[dict], field: str) -> dict:
+    """Key-wise sum of one nested counter dict over sweep-log entries."""
+    totals: dict = {}
+    for sweep in sweeps:
+        for key, value in sweep.get(field, {}).items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -150,6 +159,8 @@ def main(argv=None) -> int:
         result = run()
         seconds = time.perf_counter() - t0
         sweeps = pool.SWEEP_LOG[sweeps_before:]
+        buffer = _sum_nested(sweeps, "buffer")
+        io = _sum_nested(sweeps, "io")
         telemetry.append(
             {
                 "name": name,
@@ -157,10 +168,24 @@ def main(argv=None) -> int:
                 "points": sum(s["points"] for s in sweeps),
                 "cache_hits": sum(s["cache_hits"] for s in sweeps),
                 "executed": sum(s["executed"] for s in sweeps),
+                "buffer": buffer,
+                "io": io,
             }
         )
         text = annotate(name, result)
         text += "\n[%s: %.1fs at scale %.2f]" % (name, seconds, args.scale)
+        accesses = buffer.get("hits", 0) + buffer.get("misses", 0)
+        if accesses:
+            text += (
+                "\n[buffer pool: %d accesses, hit rate %.3f, "
+                "%d evictions (%d dirty)]"
+                % (
+                    accesses,
+                    buffer["hits"] / accesses,
+                    buffer.get("evictions", 0),
+                    buffer.get("dirty_evictions", 0),
+                )
+            )
         print(text)
         print()
         with open(os.path.join(args.out, "%s.txt" % name), "w") as handle:

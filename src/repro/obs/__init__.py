@@ -1,0 +1,50 @@
+"""repro.obs — lightweight metrics and structured I/O tracing.
+
+The observability layer of the reproduction.  Three pieces:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — tagged
+  counters/gauges/histograms with deterministic JSON snapshots;
+* :class:`Tracer` (:mod:`repro.obs.trace`) — hooks the simulated disk
+  and emits one structured :class:`TraceEvent` per physical page
+  access, tagged with relation, page kind, driver phase, strategy
+  stage and sequence operation;
+* :func:`validate_report` — the self-check that traced totals exactly
+  equal the costs the experiments report.
+
+Tracing is strictly opt-in: with no tracer attached the storage layer
+pays one ``is not None`` test per page access and the strategies' stage
+annotations return a shared no-op context manager.
+"""
+
+from repro.obs.registry import Histogram, MetricsRegistry, registry, reset_registry
+from repro.obs.trace import (
+    PAGE_KINDS,
+    STAGES,
+    TraceEvent,
+    TraceValidationError,
+    Tracer,
+    active,
+    classify_relation,
+    normalize_relation,
+    read_jsonl,
+    stage,
+    validate_report,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "reset_registry",
+    "PAGE_KINDS",
+    "STAGES",
+    "TraceEvent",
+    "TraceValidationError",
+    "Tracer",
+    "active",
+    "classify_relation",
+    "normalize_relation",
+    "read_jsonl",
+    "stage",
+    "validate_report",
+]

@@ -1,0 +1,423 @@
+"""Structured I/O tracing.
+
+Every physical page access the :class:`~repro.storage.disk.DiskManager`
+performs can be captured as a :class:`TraceEvent` tagged with
+
+* the **relation** it hit and that relation's **page kind**
+  (``parent`` / ``child`` / ``cluster`` / ``cache`` / ``temp``);
+* the driver-level **phase** (``parent`` / ``child`` / ``update``) the
+  active :class:`~repro.core.measure.CostMeter` is in;
+* the strategy-level **stage** (``scan``, ``probe``, ``sort``,
+  ``merge-join``, ``cache-probe``, ``cache-maintain``) annotated by the
+  executing operator;
+* which **operation** of a measured sequence (retrieve #k / update #k)
+  was running.
+
+A :class:`Tracer` installs itself as the disk's ``io_hook`` — the hook
+slot is a single ``is not None`` check on the hot path, so tracing costs
+*nothing* when off — aggregates events into a
+:class:`~repro.obs.registry.MetricsRegistry`, keeps a running SHA-256
+digest of the canonical event stream (the determinism fingerprint), and
+can export the raw events as JSON lines.
+
+:func:`validate_report` is the self-check the whole subsystem exists
+for: the traced totals must *exactly* equal the costs a
+:class:`~repro.workload.driver.CostReport` reports, because both are
+views of the same physical page accesses.  Any mismatch means an
+attribution bug, and traced runs raise :class:`TraceValidationError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: The page kinds a relation name maps onto.
+PAGE_KINDS = ("parent", "child", "cluster", "cache", "temp", "other")
+
+#: Stage vocabulary used by the strategies' annotations.  Stages are
+#: informative labels, not an enum — operators may add to this set.
+STAGES = ("scan", "probe", "sort", "merge-join", "cache-probe", "cache-maintain")
+
+_TEMP_PREFIXES = ("temp", "bfs-temp", "smart-temp", "sort-run", "sort-merge", "heap")
+
+
+def classify_relation(name: str) -> str:
+    """Map a relation/file name onto one of :data:`PAGE_KINDS`."""
+    if name == "ParentRel":
+        return "parent"
+    if name.startswith("ChildRel"):
+        return "child"
+    if name.startswith("ClusterRel"):  # includes the ClusterRel OID ISAM index
+        return "cluster"
+    if name in ("Cache", "InsideCache") or name.endswith("Cache"):
+        return "cache"
+    for prefix in _TEMP_PREFIXES:
+        if name.startswith(prefix):
+            return "temp"
+    return "other"
+
+
+def normalize_relation(name: str, kind: str) -> str:
+    """The relation label traced for ``name``.
+
+    Temporaries are named with a process-global counter suffix
+    (``bfs-temp-17``), which depends on how many temps any earlier run in
+    the same process created.  Tracing the bare prefix keeps event
+    streams — and their digests — identical between a serial run and a
+    worker-pool run of the same point.
+    """
+    if kind != "temp":
+        return name
+    stem, _, suffix = name.rpartition("-")
+    if stem and suffix.isdigit():
+        return stem
+    return name
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One physical page access, fully attributed."""
+
+    seq: int
+    op: str  # "read" | "write"
+    file_id: int
+    page_no: int
+    relation: str
+    kind: str  # one of PAGE_KINDS
+    phase: Optional[str]  # parent | child | update (CostMeter phase)
+    stage: Optional[str]  # scan | probe | sort | ... (operator annotation)
+    op_kind: Optional[str]  # retrieve | update (measured sequence op)
+    op_index: Optional[int]  # position of that op in the sequence
+    strategy: Optional[str]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "file_id": self.file_id,
+            "page_no": self.page_no,
+            "relation": self.relation,
+            "kind": self.kind,
+            "phase": self.phase,
+            "stage": self.stage,
+            "op_kind": self.op_kind,
+            "op_index": self.op_index,
+            "strategy": self.strategy,
+        }
+
+    def canonical(self) -> str:
+        """Order- and content-stable line used for the stream digest."""
+        return "%s|%s|%d|%s|%s|%s|%s|%s" % (
+            self.op,
+            self.relation,
+            self.page_no,
+            self.kind,
+            self.phase or "-",
+            self.stage or "-",
+            self.op_kind or "-",
+            "-" if self.op_index is None else self.op_index,
+        )
+
+
+class TraceValidationError(AssertionError):
+    """Traced totals disagree with the driver's reported costs."""
+
+
+# ----------------------------------------------------------------------
+# the active tracer and stage annotations
+# ----------------------------------------------------------------------
+_ACTIVE: Optional["Tracer"] = None
+
+
+def active() -> Optional["Tracer"]:
+    """The currently activated tracer, if any."""
+    return _ACTIVE
+
+
+class _NullContext:
+    """Shared no-op context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _StageContext:
+    __slots__ = ("tracer", "name", "prev")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> None:
+        self.prev = self.tracer.stage
+        self.tracer.stage = self.name
+
+    def __exit__(self, *exc: object) -> None:
+        self.tracer.stage = self.prev
+
+
+def stage(name: str):
+    """Attribute page accesses in the ``with`` block to stage ``name``.
+
+    Stages nest (e.g. ``cache-probe`` inside ``probe``); the innermost
+    one wins.  When no tracer is active this returns a shared no-op
+    context manager — one global read and no allocation, so operators
+    can annotate unconditionally.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_CONTEXT
+    return _StageContext(tracer, name)
+
+
+# ----------------------------------------------------------------------
+# the tracer
+# ----------------------------------------------------------------------
+class Tracer:
+    """Captures, aggregates and digests physical page accesses.
+
+    ``keep_events=False`` drops the raw event list (aggregates and the
+    digest are maintained incrementally), which is what sweep points use
+    so traced summaries stay small enough to memoize.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        keep_events: bool = True,
+    ) -> None:
+        from repro.obs import registry as registry_module
+
+        self.registry = (
+            registry if registry is not None else registry_module.registry()
+        )
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+        # attribution context
+        self.phase: Optional[str] = None
+        self.stage: Optional[str] = None
+        self.op_kind: Optional[str] = None
+        self.op_index: Optional[int] = None
+        self.strategy: Optional[str] = None
+        # incremental aggregates
+        self.reads = 0
+        self.writes = 0
+        self.by_kind: Dict[str, int] = {}
+        self.by_phase: Dict[str, int] = {}
+        self.by_stage: Dict[str, int] = {}
+        self.by_relation: Dict[str, int] = {}
+        self.measured: Dict[str, int] = {"retrieve": 0, "update": 0}
+        self._digest = hashlib.sha256()
+        self._seq = 0
+        self._op_start_seq = 0
+        # attachment
+        self._disk: Optional[Any] = None
+        self._prev_hook: Optional[Any] = None
+        self._kinds: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # attachment lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, disk: Any) -> None:
+        """Install as ``disk``'s io_hook (chaining any existing hook)."""
+        if self._disk is not None:
+            raise RuntimeError("tracer is already attached to a disk")
+        self._disk = disk
+        self._prev_hook = disk.io_hook
+        disk.io_hook = self.on_io
+
+    def detach(self) -> None:
+        """Restore the disk's previous io_hook."""
+        if self._disk is None:
+            return
+        self._disk.io_hook = self._prev_hook
+        self._disk = None
+        self._prev_hook = None
+
+    def activate(self) -> None:
+        """Make this the process-wide tracer stage annotations target."""
+        global _ACTIVE
+        if _ACTIVE is not None and _ACTIVE is not self:
+            raise RuntimeError("another tracer is already active")
+        _ACTIVE = self
+
+    def deactivate(self) -> None:
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+    @contextmanager
+    def observe(self, disk: Any) -> Iterator["Tracer"]:
+        """Attach + activate for the duration of a ``with`` block."""
+        self.attach(disk)
+        self.activate()
+        try:
+            yield self
+        finally:
+            self.deactivate()
+            self.detach()
+
+    # ------------------------------------------------------------------
+    # event capture
+    # ------------------------------------------------------------------
+    def on_io(self, op: str, page_id: Any) -> None:
+        """The DiskManager hook: called for every page read/write."""
+        file_id = page_id.file_id
+        info = self._kinds.get(file_id)
+        if info is None:
+            name = self._disk.file_name(file_id) if self._disk is not None else "?"
+            kind = classify_relation(name)
+            info = (normalize_relation(name, kind), kind)
+            self._kinds[file_id] = info
+        relation, kind = info
+        event = TraceEvent(
+            seq=self._seq,
+            op=op,
+            file_id=file_id,
+            page_no=page_id.page_no,
+            relation=relation,
+            kind=kind,
+            phase=self.phase,
+            stage=self.stage,
+            op_kind=self.op_kind,
+            op_index=self.op_index,
+            strategy=self.strategy,
+        )
+        self._seq += 1
+        if self.keep_events:
+            self.events.append(event)
+        self._digest.update(event.canonical().encode())
+        self._digest.update(b"\n")
+        if op == "read":
+            self.reads += 1
+        else:
+            self.writes += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.by_relation[relation] = self.by_relation.get(relation, 0) + 1
+        if self.phase is not None:
+            self.by_phase[self.phase] = self.by_phase.get(self.phase, 0) + 1
+        if self.stage is not None:
+            self.by_stage[self.stage] = self.by_stage.get(self.stage, 0) + 1
+        if self.op_kind is not None:
+            self.measured[self.op_kind] += 1
+        self.registry.inc(
+            "io.pages",
+            op=op,
+            kind=kind,
+            phase=self.phase or "-",
+            stage=self.stage or "-",
+        )
+        if self._prev_hook is not None:
+            self._prev_hook(op, page_id)
+
+    # ------------------------------------------------------------------
+    # operation bracketing (driven by run_sequence)
+    # ------------------------------------------------------------------
+    def begin_op(self, kind: str, index: int) -> None:
+        self.op_kind = kind
+        self.op_index = index
+        self._op_start_seq = self._seq
+
+    def end_op(self) -> None:
+        if self.op_kind is not None:
+            self.registry.observe(
+                "op.io", self._seq - self._op_start_seq, kind=self.op_kind
+            )
+        self.op_kind = None
+        self.op_index = None
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical event stream so far."""
+        return self._digest.hexdigest()
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able aggregate view (what sweep reports carry around)."""
+        return {
+            "events": self._seq,
+            "reads": self.reads,
+            "writes": self.writes,
+            "by_kind": {k: self.by_kind[k] for k in sorted(self.by_kind)},
+            "by_phase": {k: self.by_phase[k] for k in sorted(self.by_phase)},
+            "by_stage": {k: self.by_stage[k] for k in sorted(self.by_stage)},
+            "by_relation": {
+                k: self.by_relation[k] for k in sorted(self.by_relation)
+            },
+            "measured": {
+                "retrieve_io": self.measured["retrieve"],
+                "update_io": self.measured["update"],
+                "par_cost": self.by_phase.get("parent", 0),
+                "child_cost": self.by_phase.get("child", 0),
+                "update_cost": self.by_phase.get("update", 0),
+            },
+            "digest": self.digest(),
+        }
+
+    def write_jsonl(self, path: str) -> int:
+        """Export the kept events as JSON lines; returns the line count.
+
+        Requires ``keep_events=True`` (aggregate-only tracers have
+        nothing to export).
+        """
+        if not self.keep_events:
+            raise RuntimeError("tracer was created with keep_events=False")
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self.events)
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load events previously exported by :meth:`Tracer.write_jsonl`."""
+    events: List[TraceEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent(**json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# self-validation
+# ----------------------------------------------------------------------
+def validate_report(report: Any, summary: Dict[str, Any]) -> List[str]:
+    """Cross-check a CostReport against a traced summary.
+
+    Returns a list of human-readable mismatches (empty = the traced
+    event stream exactly accounts for every reported page access).
+    """
+    measured = summary["measured"]
+    checks = [
+        ("retrieve_io", report.retrieve_io, measured["retrieve_io"]),
+        ("update_io", report.update_io, measured["update_io"]),
+        ("total_io", report.total_io, measured["retrieve_io"] + measured["update_io"]),
+        ("par_cost", report.par_cost, measured["par_cost"]),
+        ("child_cost", report.child_cost, measured["child_cost"]),
+    ]
+    return [
+        "%s: reported %d != traced %d" % (name, reported, traced)
+        for name, reported, traced in checks
+        if reported != traced
+    ]

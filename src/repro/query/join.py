@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs.trace import stage
 from repro.storage.btree import BTreeCursor, BTreeFile
 
 Projector = Callable[[Tuple[Any, ...]], Any]
@@ -37,26 +38,32 @@ def merge_probe_join(
     pair — i.e. duplicate probe keys yield duplicate results, like a real
     join.  Keys absent from the inner are skipped silently (no such keys
     arise in the reproduction workload, but the operator is total).
+
+    Traced page accesses are attributed to the ``merge-join`` stage for
+    the generator's whole lifetime, including reads the *outer* stream
+    performs while being pulled (scanning the sorted temporary is part
+    of the join's cost).
     """
-    cursor = inner.cursor()
-    last_key = object()
-    last_matches: List[Any] = []
-    for key in sorted_keys:
-        if key == last_key:
-            # Same leaf, already resident: re-emit without re-probing.
-            for match in last_matches:
-                yield match
-            continue
-        cursor.seek(key)
-        last_key = key
-        last_matches = []
-        record = cursor.current()
-        while record is not None and inner.key_of(record) == key:
-            value = project(record) if project is not None else record
-            last_matches.append(value)
-            yield value
-            cursor.advance()
+    with stage("merge-join"):
+        cursor = inner.cursor()
+        last_key = object()
+        last_matches: List[Any] = []
+        for key in sorted_keys:
+            if key == last_key:
+                # Same leaf, already resident: re-emit without re-probing.
+                for match in last_matches:
+                    yield match
+                continue
+            cursor.seek(key)
+            last_key = key
+            last_matches = []
             record = cursor.current()
+            while record is not None and inner.key_of(record) == key:
+                value = project(record) if project is not None else record
+                last_matches.append(value)
+                yield value
+                cursor.advance()
+                record = cursor.current()
 
 
 def iterative_substitution_join(
@@ -65,6 +72,7 @@ def iterative_substitution_join(
     project: Optional[Projector] = None,
 ) -> Iterator[Any]:
     """Nested-loop join: one B-tree lookup per outer key, in outer order."""
-    for key in keys:
-        for record in inner.lookup(key):
-            yield project(record) if project is not None else record
+    with stage("probe"):
+        for key in keys:
+            for record in inner.lookup(key):
+                yield project(record) if project is not None else record

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.trace import stage
 from repro.storage.buffer import BufferPool
 from repro.storage.record import Schema
 from repro.query.temp import TempRelation, make_temp
@@ -50,38 +51,39 @@ def external_sort(
     schema = source.schema
     page_budget = workspace_pages * pool.disk.page_size
 
-    # ------------------------------------------------------------------
-    # Phase 1: run generation.
-    # ------------------------------------------------------------------
-    runs: List[TempRelation] = []
-    batch: List[Tuple[Any, ...]] = []
-    batch_bytes = 0
-    for record in source.scan():
-        batch.append(record)
-        batch_bytes += schema.record_size(record)
-        if batch_bytes >= page_budget:
+    with stage("sort"):
+        # --------------------------------------------------------------
+        # Phase 1: run generation.
+        # --------------------------------------------------------------
+        runs: List[TempRelation] = []
+        batch: List[Tuple[Any, ...]] = []
+        batch_bytes = 0
+        for record in source.scan():
+            batch.append(record)
+            batch_bytes += schema.record_size(record)
+            if batch_bytes >= page_budget:
+                runs.append(_write_run(pool, schema, batch, key, distinct))
+                batch = []
+                batch_bytes = 0
+        if batch or not runs:
             runs.append(_write_run(pool, schema, batch, key, distinct))
-            batch = []
-            batch_bytes = 0
-    if batch or not runs:
-        runs.append(_write_run(pool, schema, batch, key, distinct))
-    if drop_source:
-        source.drop()
+        if drop_source:
+            source.drop()
 
-    # ------------------------------------------------------------------
-    # Phase 2: k-way merges until a single run remains.  Duplicate
-    # elimination happens *inside* run generation and the merges (the
-    # classic sort-unique), so BFSNODUP pays no extra pass over BFS —
-    # it only shrinks the runs.
-    # ------------------------------------------------------------------
-    fan_in = max(2, workspace_pages - 1)
-    while len(runs) > 1:
-        next_runs: List[TempRelation] = []
-        for start in range(0, len(runs), fan_in):
-            group = runs[start : start + fan_in]
-            next_runs.append(_merge_runs(pool, schema, group, key, distinct))
-        runs = next_runs
-    return runs[0]
+        # --------------------------------------------------------------
+        # Phase 2: k-way merges until a single run remains.  Duplicate
+        # elimination happens *inside* run generation and the merges (the
+        # classic sort-unique), so BFSNODUP pays no extra pass over BFS —
+        # it only shrinks the runs.
+        # --------------------------------------------------------------
+        fan_in = max(2, workspace_pages - 1)
+        while len(runs) > 1:
+            next_runs: List[TempRelation] = []
+            for start in range(0, len(runs), fan_in):
+                group = runs[start : start + fan_in]
+                next_runs.append(_merge_runs(pool, schema, group, key, distinct))
+            runs = next_runs
+        return runs[0]
 
 
 def _unique(records, key: KeyFunc):

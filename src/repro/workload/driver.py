@@ -46,6 +46,13 @@ class CostReport:
     per_retrieve: Dict[str, float]
     buffer_hit_rate: float
     cache_stats: Optional[Dict[str, Any]] = None
+    #: Buffer-pool hit/miss/eviction counters for the measured interval
+    #: (a :class:`~repro.storage.buffer.PoolStats` snapshot delta, so a
+    #: reused database or an un-reset pool cannot leak counts in).
+    buffer_stats: Optional[Dict[str, int]] = None
+    #: Traced event-stream summary (only when run with a tracer); see
+    #: :meth:`repro.obs.Tracer.summary`.
+    traced: Optional[Dict[str, Any]] = None
 
     @property
     def avg_io_per_retrieve(self) -> float:
@@ -95,6 +102,7 @@ def run_sequence(
     reset: bool = True,
     cold_retrieves: bool = False,
     warmup: int = 0,
+    tracer=None,
 ) -> CostReport:
     """Execute ``sequence`` under ``strategy`` and measure I/O.
 
@@ -112,7 +120,41 @@ def run_sequence(
     the counters are zeroed.  The paper's 1000-query sequences amortise
     the cold start away; short reproduction sequences approximate the
     same steady state by warming the cache/buffer first.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) captures every physical
+    page access of the run as a structured event.  The traced summary
+    lands in ``report.traced`` and is cross-checked against the report's
+    own numbers — a mismatch raises
+    :class:`~repro.obs.trace.TraceValidationError`, because both views
+    count the same disk accesses and must agree exactly.
     """
+    if tracer is None:
+        return _run_measured(db, strategy, sequence, reset, cold_retrieves, warmup)
+    from repro.obs.trace import TraceValidationError, validate_report
+
+    tracer.strategy = strategy.name
+    with tracer.observe(db.disk):
+        report = _run_measured(
+            db, strategy, sequence, reset, cold_retrieves, warmup, tracer
+        )
+    report.traced = tracer.summary()
+    problems = validate_report(report, report.traced)
+    if problems:
+        raise TraceValidationError(
+            "traced totals diverge from reported costs: %s" % "; ".join(problems)
+        )
+    return report
+
+
+def _run_measured(
+    db: ComplexObjectDB,
+    strategy: Strategy,
+    sequence: Sequence[Operation],
+    reset: bool,
+    cold_retrieves: bool,
+    warmup: int,
+    tracer=None,
+) -> CostReport:
     strategy.check_database(db)
     if reset:
         db.reset_cache()
@@ -128,28 +170,35 @@ def run_sequence(
         db.disk.reset_counters()
         db.pool.stats.reset()
 
-    meter = CostMeter(db.disk)
+    meter = CostMeter(db.disk, tracer=tracer)
+    pool_before = db.pool.stats.snapshot()
     per_retrieve = RunningStats()
     retrieves = 0
     updates = 0
     retrieve_io = 0
     update_io = 0
-    for op in sequence:
+    for index, op in enumerate(sequence):
         if cold_retrieves and isinstance(op, RetrieveQuery):
             db.pool.clear(flush=True)
         before = db.disk.snapshot()
         if isinstance(op, RetrieveQuery):
+            if tracer is not None:
+                tracer.begin_op("retrieve", index)
             strategy.retrieve(db, op, meter)
             delta = (db.disk.snapshot() - before).total
             per_retrieve.add(delta)
             retrieve_io += delta
             retrieves += 1
         elif isinstance(op, UpdateQuery):
+            if tracer is not None:
+                tracer.begin_op("update", index)
             strategy.update(db, op, meter)
             update_io += (db.disk.snapshot() - before).total
             updates += 1
         else:
             raise TypeError("unknown operation %r" % (op,))
+        if tracer is not None:
+            tracer.end_op()
 
     cache_stats = None
     if strategy.uses_cache and db.cache is not None:
@@ -164,6 +213,7 @@ def run_sequence(
             "cached_units": db.cache.num_cached,
         }
 
+    pool_delta = db.pool.stats.snapshot() - pool_before
     return CostReport(
         strategy=strategy.name,
         num_retrieves=retrieves,
@@ -174,8 +224,9 @@ def run_sequence(
         par_cost=meter.par_cost,
         child_cost=meter.child_cost,
         per_retrieve=per_retrieve.as_dict(),
-        buffer_hit_rate=db.pool.stats.hit_rate,
+        buffer_hit_rate=pool_delta.hit_rate,
         cache_stats=cache_stats,
+        buffer_stats=pool_delta.as_dict(),
     )
 
 

@@ -148,3 +148,75 @@ class TestPointCache:
     def test_cache_files_are_per_fingerprint(self, tmp_path, monkeypatch):
         cache = PointCache(str(tmp_path))
         assert cache.fingerprint[:16] in cache.path
+
+
+class TestTracedPoints:
+    def test_traced_point_carries_validated_summary(self, params):
+        report = run_sweep([_point(params, traced=True)])[0]
+        assert report.traced is not None
+        measured = report.traced["measured"]
+        assert measured["retrieve_io"] + measured["update_io"] == report.total_io
+        assert measured["par_cost"] == report.par_cost
+        assert measured["child_cost"] == report.child_cost
+
+    def test_traced_serial_matches_parallel(self, params):
+        """Same event stream (digest included) from serial and pooled runs."""
+        points = [
+            _point(params, strategy, traced=True)
+            for strategy in ("DFS", "BFS", "DFSCACHE")
+        ]
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.traced == b.traced
+            assert a.traced["digest"] == b.traced["digest"]
+        assert [dataclasses.asdict(r) for r in serial] == [
+            dataclasses.asdict(r) for r in parallel
+        ]
+
+    def test_warm_point_cache_replays_identical_trace(self, params, tmp_path):
+        point = _point(params, "BFS", traced=True)
+        cold = run_sweep([point], cache=PointCache(str(tmp_path)))[0]
+        warm_cache = PointCache(str(tmp_path))
+        warm = run_sweep([point], cache=warm_cache)[0]
+        assert warm_cache.hits == 1
+        assert warm.traced == cold.traced
+        assert dataclasses.asdict(warm) == dataclasses.asdict(cold)
+
+    def test_traced_flag_changes_point_key(self, params):
+        assert point_key(_point(params)) != point_key(_point(params, traced=True))
+
+
+class TestCounterIsolation:
+    """Pooled workers reuse processes: nothing may leak between points."""
+
+    def test_buffer_stats_do_not_leak_across_points(self, params):
+        """A point's buffer delta is identical however many ran before it.
+
+        The driver measures PoolStats as a snapshot delta, so the live
+        counters of a reused database can keep running without polluting
+        any later point's report.
+        """
+        db_cache = DatabaseCache()
+        first = pool.execute_point(_point(params, "DFSCACHE"), db_cache)
+        for _ in range(2):  # churn the same pooled database
+            pool.execute_point(_point(params, "DFSCACHE"), db_cache)
+        again = pool.execute_point(_point(params, "DFSCACHE"), db_cache)
+        fresh = pool.execute_point(_point(params, "DFSCACHE"), DatabaseCache())
+        assert first["buffer_stats"] == again["buffer_stats"]
+        assert first["buffer_stats"] == fresh["buffer_stats"]
+
+    def test_traced_registry_is_per_point(self, params):
+        """Back-to-back traced points in one process stay independent."""
+        db_cache = DatabaseCache()
+        first = pool.execute_point(_point(params, traced=True), db_cache)
+        second = pool.execute_point(_point(params, traced=True), db_cache)
+        assert first["traced"] == second["traced"]
+
+    def test_sweep_log_aggregates_buffer_and_io(self, params):
+        run_sweep([_point(params)])
+        entry = pool.SWEEP_LOG[-1]
+        assert entry["reports"] == 1
+        assert entry["io"]["retrieve"] > 0
+        accesses = entry["buffer"]["hits"] + entry["buffer"]["misses"]
+        assert accesses > 0

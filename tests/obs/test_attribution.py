@@ -1,0 +1,149 @@
+"""Traced cost attribution: the self-check and the Figure 5 split.
+
+The point of the observability layer: per-query cost attribution derived
+purely from traced physical page accesses must reproduce the numbers the
+driver reports (exactly) and the paper's analytic shapes (Figure 5's
+ParCost/ChildCost split and its crossing).
+"""
+
+import pytest
+
+from repro.core.strategies.base import make_strategy
+from repro.experiments import fig5
+from repro.experiments.pool import SweepPoint, run_sweep
+from repro.obs import MetricsRegistry, Tracer, validate_report
+from repro.workload.driver import run_sequence
+from repro.workload.generator import build_database
+from repro.workload.queries import generate_sequence
+
+ALL_STRATEGIES = (
+    "DFS",
+    "BFS",
+    "BFSNODUP",
+    "DFSCACHE",
+    "DFSCACHE-INSIDE",
+    "DFSCLUST",
+    "SMART",
+    "OPT",
+    "PROC-EXEC",
+    "PROC-CACHE-OIDS",
+    "PROC-CACHE-VALUES",
+)
+
+
+def _database_for(params, name):
+    strategy = make_strategy(name)
+    procedural = name.startswith("PROC")
+    db = build_database(
+        params,
+        clustering=strategy.uses_clustering,
+        cache=procedural or (strategy.uses_cache and name != "DFSCACHE-INSIDE"),
+        procedural=procedural,
+    )
+    if name == "DFSCACHE-INSIDE":
+        db.enable_inside_cache(
+            params.size_cache,
+            unit_bytes_hint=params.size_unit * params.child_bytes,
+        )
+    return db, strategy
+
+
+class TestSelfValidation:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_traced_totals_equal_reported_costs(self, tiny_params, name):
+        """Every strategy's traced event stream accounts for every page.
+
+        run_sequence raises TraceValidationError itself on any mismatch;
+        asserting validate_report() == [] here keeps the failure message
+        explicit and pins the contract the driver relies on.
+        """
+        db, strategy = _database_for(tiny_params, name)
+        sequence = generate_sequence(tiny_params, db)
+        tracer = Tracer(registry=MetricsRegistry(), keep_events=False)
+        report = run_sequence(db, strategy, sequence, tracer=tracer)
+        assert report.traced is not None
+        assert validate_report(report, report.traced) == []
+        measured = report.traced["measured"]
+        assert measured["retrieve_io"] + measured["update_io"] == report.total_io
+
+    def test_mixed_sequence_with_updates_validates(self, tiny_params):
+        params = tiny_params.replace(pr_update=0.5)
+        db, strategy = _database_for(params, "DFSCACHE")
+        sequence = generate_sequence(params, db)
+        tracer = Tracer(registry=MetricsRegistry(), keep_events=False)
+        report = run_sequence(db, strategy, sequence, tracer=tracer)
+        assert report.num_updates > 0
+        assert validate_report(report, report.traced) == []
+        assert report.traced["measured"]["update_io"] == report.update_io
+
+    def test_every_event_lands_in_a_known_kind(self, tiny_params):
+        db, strategy = _database_for(tiny_params, "SMART")
+        sequence = generate_sequence(tiny_params, db)
+        tracer = Tracer(registry=MetricsRegistry(), keep_events=False)
+        report = run_sequence(db, strategy, sequence, tracer=tracer)
+        by_kind = report.traced["by_kind"]
+        assert "other" not in by_kind
+        assert sum(by_kind.values()) == report.traced["events"]
+
+
+class TestFig5FromTraces:
+    """Figure 5's shape rebuilt from measured events alone (scale 0.2)."""
+
+    @pytest.fixture(scope="class")
+    def traced_rows(self):
+        base = fig5.default_params(scale=0.2)
+        num_top = max(1, round(base.num_parents * fig5.NUM_TOP_FRACTION))
+        use_factors = (1, 4, 16)
+        cells = [
+            base.replace(use_factor=use_factor, num_top=num_top)
+            for use_factor in use_factors
+        ]
+        points = [
+            SweepPoint(
+                params=cell,
+                strategy=name,
+                num_retrieves=4,
+                cold_retrieves=True,
+                traced=True,
+            )
+            for cell in cells
+            for name in ("DFSCLUST", "BFS")
+        ]
+        reports = run_sweep(points)
+        rows = []
+        for index, cell in enumerate(cells):
+            clust, bfs = reports[2 * index], reports[2 * index + 1]
+            # Build the row purely from the traced event aggregates —
+            # never from the driver's own cost accounting.
+            row = {"share_factor": cell.share_factor}
+            for label, report in (("clust", clust), ("bfs", bfs)):
+                measured = report.traced["measured"]
+                retrieves = report.num_retrieves
+                row[label] = {
+                    "par": measured["par_cost"] / retrieves,
+                    "child": measured["child_cost"] / retrieves,
+                    "total": (measured["retrieve_io"] + measured["update_io"])
+                    / retrieves,
+                }
+            rows.append(row)
+        return rows
+
+    def test_clust_parcost_rises_as_share_factor_falls(self, traced_rows):
+        par = [row["clust"]["par"] for row in traced_rows]
+        assert par[0] == max(par)
+        assert par[0] > 1.5 * par[-1]
+
+    def test_clust_childcost_zero_at_share_factor_one(self, traced_rows):
+        assert traced_rows[0]["share_factor"] == 1
+        assert traced_rows[0]["clust"]["child"] == 0
+        assert all(row["clust"]["child"] > 0 for row in traced_rows[1:])
+
+    def test_bfs_childcost_falls_with_share_factor(self, traced_rows):
+        child = [row["bfs"]["child"] for row in traced_rows]
+        assert child[0] > child[-1]
+
+    def test_total_cost_curves_cross(self, traced_rows):
+        """DFSCLUST wins at ShareFactor 1; BFS wins once sharing is high."""
+        first, last = traced_rows[0], traced_rows[-1]
+        assert first["clust"]["total"] < first["bfs"]["total"]
+        assert last["bfs"]["total"] < last["clust"]["total"]

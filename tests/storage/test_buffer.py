@@ -166,3 +166,49 @@ class TestMaintenance:
         fid = fill_file(disk, 1)
         with pytest.raises(KeyError):
             pool.mark_dirty(PageId(fid, 0))
+
+
+class TestPoolStats:
+    def test_snapshot_is_frozen_and_detached(self, disk):
+        from repro.storage.buffer import PoolStats
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=2)
+        fid = fill_file(disk, 1)
+        snap = pool.stats.snapshot()
+        assert isinstance(snap, PoolStats)
+        pool.fetch(PageId(fid, 0))
+        assert snap.misses == 0  # the snapshot did not move
+        assert pool.stats.misses == 1
+        with pytest.raises(Exception):
+            snap.misses = 5  # frozen dataclass
+
+    def test_delta_measures_one_interval(self, disk):
+        from repro.storage.page import PageId
+
+        pool = BufferPool(disk, capacity=2)
+        fid = fill_file(disk, 3)
+        pool.fetch(PageId(fid, 0))  # outside the interval
+        before = pool.stats.snapshot()
+        pool.fetch(PageId(fid, 0))  # hit
+        pool.fetch(PageId(fid, 1))  # miss
+        pool.fetch(PageId(fid, 2))  # miss + eviction
+        delta = pool.stats.snapshot() - before
+        assert (delta.hits, delta.misses, delta.evictions) == (1, 2, 1)
+        assert delta.accesses == 3
+        assert delta.hit_rate == pytest.approx(1 / 3)
+
+    def test_add_and_as_dict(self):
+        from repro.storage.buffer import PoolStats
+
+        a = PoolStats(hits=2, misses=1, evictions=1, dirty_evictions=0)
+        b = PoolStats(hits=3, misses=0, evictions=0, dirty_evictions=1)
+        total = a + b
+        assert total == PoolStats(hits=5, misses=1, evictions=1, dirty_evictions=1)
+        assert total.as_dict() == {
+            "hits": 5,
+            "misses": 1,
+            "evictions": 1,
+            "dirty_evictions": 1,
+        }
+        assert PoolStats().hit_rate == 0.0
