@@ -8,12 +8,15 @@ Usage::
     python -m repro footprint --scale 0.1     # storage requirements
     python -m repro explain --strategy BFS --num-top 200
     python -m repro trace --strategy DFSCACHE --scale 0.05
+    python -m repro dbcache ls                # stored database snapshots
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from repro import __version__
@@ -62,8 +65,18 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.pool import SweepPoint, run_sweep
+    from repro.experiments.pool import (
+        DB_CACHE_DIRNAME,
+        SweepPoint,
+        configure_db_store,
+        run_sweep,
+    )
 
+    configure_db_store(
+        None
+        if args.no_db_cache
+        else os.path.join(args.out, DB_CACHE_DIRNAME)
+    )
     params = _params_from_args(args)
     point = SweepPoint(
         params=params,
@@ -99,9 +112,44 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv += ["--only"] + args.only
     if args.no_point_cache:
         argv += ["--no-point-cache"]
+    if args.no_db_cache:
+        argv += ["--no-db-cache"]
     if args.bench_out is not None:
         argv += ["--bench-out", args.bench_out]
     return report_main(argv)
+
+
+def cmd_dbcache(args: argparse.Namespace) -> int:
+    from repro.experiments.pool import DB_CACHE_DIRNAME
+    from repro.storage.snapshot import SnapshotStore
+    from repro.util.fingerprint import code_fingerprint
+
+    store = SnapshotStore(os.path.join(args.out, DB_CACHE_DIRNAME))
+    if args.action == "clear":
+        removed = store.clear()
+        print("removed %d snapshot(s) from %s" % (removed, store.root))
+        return 0
+    entries = store.entries()
+    if not entries:
+        print("no database snapshots under %s" % store.root)
+        return 0
+    current = code_fingerprint()[:12]
+    rows = []
+    for name, size, mtime in entries:
+        fingerprint = name[len(store.FILE_PREFIX):].split("-", 1)[0]
+        rows.append(
+            [
+                name,
+                "%.1f" % (size / 1024.0),
+                time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(mtime)),
+                "current" if fingerprint == current else "stale",
+            ]
+        )
+    print(format_table(["snapshot", "KiB", "written", "code"], rows,
+                       title="Database snapshot store: %s" % store.root))
+    print("\ntotal: %d snapshot(s), %.1f KiB"
+          % (len(entries), store.bytes_on_disk() / 1024.0))
+    return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -235,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int)
     run.add_argument("--jobs", type=int, default=1,
                      help="worker processes for sweep execution")
+    run.add_argument("--out", default="results",
+                     help="results directory (holds the snapshot store)")
+    run.add_argument("--no-db-cache", dest="no_db_cache", action="store_true",
+                     help="rebuild the database instead of attaching a "
+                     "snapshot clone from OUT/.dbcache")
 
     report = sub.add_parser("report", help="run every figure/table experiment")
     report.add_argument("--scale", type=float, default=0.5)
@@ -245,11 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-point-cache", dest="no_point_cache",
                         action="store_true",
                         help="recompute every point (skip OUT/.pointcache)")
+    report.add_argument("--no-db-cache", dest="no_db_cache",
+                        action="store_true",
+                        help="rebuild every database (skip OUT/.dbcache)")
     report.add_argument("--bench-out", dest="bench_out", default=None,
                         help="telemetry JSON path ('' disables)")
 
     footprint = sub.add_parser("footprint", help="show per-relation pages")
     footprint.add_argument("--scale", type=float, default=0.1)
+
+    dbcache = sub.add_parser(
+        "dbcache", help="inspect or clear the database snapshot store"
+    )
+    dbcache.add_argument("action", choices=("ls", "clear"),
+                         help="ls: list stored snapshots; clear: delete them")
+    dbcache.add_argument("--out", default="results",
+                         help="results directory holding .dbcache")
 
     explain_cmd = sub.add_parser("explain", help="show a strategy's physical plan")
     explain_cmd.add_argument("--strategy", required=True, choices=sorted(REGISTRY))
@@ -290,9 +354,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "footprint": cmd_footprint,
         "trace": cmd_trace,
+        "dbcache": cmd_dbcache,
     }
     return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; that is not an error.
+        sys.exit(0)

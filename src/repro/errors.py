@@ -32,6 +32,15 @@ class BufferPoolFullError(StorageError):
     """Every frame in the buffer pool is pinned; nothing can be evicted."""
 
 
+class FrozenPageError(StorageError):
+    """A frozen (snapshot-shared) page was mutated without copy-on-write.
+
+    Mutation paths must acquire the page through
+    :meth:`repro.storage.buffer.BufferPool.writable` so the page is
+    privately copied before the snapshot-shared original is touched.
+    """
+
+
 class RecordError(StorageError):
     """A record did not match its schema (arity, type, or width)."""
 

@@ -20,6 +20,14 @@ module turns that structure into an explicit execution layer:
   recomputed: an interrupted or repeated sweep resumes from the cache,
   and any code change invalidates every entry at once.
 
+Databases themselves are reused through the copy-on-write snapshot
+store (:mod:`repro.storage.snapshot`): when :func:`configure_db_store`
+names a store root (the report runner and CLI point it at
+``results/.dbcache/``), every built shape is frozen once and each
+point attaches a clone in milliseconds — serially, in every pool
+worker, and across repeated report runs.  ``SWEEP_LOG`` entries carry
+the build/attach split so the saving is visible in telemetry.
+
 Determinism contract: a point's measurement depends only on its spec.
 The database build is seeded, ``run_sequence(reset=True)`` starts every
 run from a cold buffer pool and an empty cache, and the workload's
@@ -40,6 +48,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.strategies.base import make_strategy
 from repro.experiments.runner import DatabaseCache, adaptive_queries
+from repro.storage.snapshot import SnapshotStore
+from repro.util.fingerprint import code_fingerprint  # noqa: F401  (re-export)
 from repro.workload.driver import CostReport, run_sequence
 from repro.workload.params import WorkloadParams
 from repro.workload.queries import generate_mixed_sequence, generate_sequence
@@ -47,6 +57,10 @@ from repro.workload.queries import generate_mixed_sequence, generate_sequence
 #: Default location of the persistent point cache, relative to the
 #: report's output directory.
 POINT_CACHE_DIRNAME = ".pointcache"
+
+#: Default location of the database snapshot store, relative to the
+#: report's output directory (next to the point cache).
+DB_CACHE_DIRNAME = ".dbcache"
 
 #: Per-worker database cache bound: a worker keeps at most this many
 #: built databases alive (evicted least-recently-used; rebuilding a
@@ -121,32 +135,42 @@ def _canonical(obj: Any) -> Any:
     return obj
 
 
-_FINGERPRINT: Optional[str] = None
+# ----------------------------------------------------------------------
+# database snapshot store configuration
+# ----------------------------------------------------------------------
+#: Root directory of the shared database snapshot store, or None when
+#: snapshot reuse is disabled (the default for bare library use; the CLI
+#: and report runner call :func:`configure_db_store`).
+DB_STORE_ROOT: Optional[str] = None
+
+_DB_STORE: Optional[SnapshotStore] = None
 
 
-def code_fingerprint() -> str:
-    """Hash of every ``repro`` source file; part of each cache key.
+def configure_db_store(root: Optional[str]) -> None:
+    """Point sweep execution at a snapshot store (None disables reuse).
 
-    Any change to the package — a strategy tweak, a storage fix, a new
-    cost model — yields a new fingerprint and therefore invalidates the
-    whole point cache, which is exactly the safe behaviour: cached
-    numbers are only valid for the code that produced them.
+    Serial sweeps and pool workers alike materialize databases through
+    the store under ``root``; built shapes are frozen and persisted so
+    later points, workers and report runs attach clones instead of
+    rebuilding.
     """
-    global _FINGERPRINT
-    if _FINGERPRINT is None:
-        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        digest = hashlib.sha256()
-        for dirpath, dirnames, filenames in os.walk(package_root):
-            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
-            for name in sorted(filenames):
-                if not name.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, name)
-                digest.update(os.path.relpath(path, package_root).encode())
-                with open(path, "rb") as handle:
-                    digest.update(handle.read())
-        _FINGERPRINT = digest.hexdigest()
-    return _FINGERPRINT
+    global DB_STORE_ROOT, _DB_STORE
+    DB_STORE_ROOT = root
+    _DB_STORE = None
+
+
+def _db_store() -> Optional[SnapshotStore]:
+    """The process-wide store for :data:`DB_STORE_ROOT` (lazy singleton).
+
+    One store per process keeps its in-memory snapshot LRU effective
+    across consecutive :func:`run_sweep` calls (a report runs many).
+    """
+    global _DB_STORE
+    if DB_STORE_ROOT is None:
+        return None
+    if _DB_STORE is None or _DB_STORE.root != DB_STORE_ROOT:
+        _DB_STORE = SnapshotStore(DB_STORE_ROOT)
+    return _DB_STORE
 
 
 def point_key(point: SweepPoint) -> str:
@@ -338,14 +362,28 @@ def _execute_deep(point: SweepPoint, db_cache: Optional[DatabaseCache]) -> float
 _WORKER_DB_CACHE: Optional[DatabaseCache] = None
 
 
-def _init_worker() -> None:
+def _init_worker(store_root: Optional[str] = None) -> None:
     global _WORKER_DB_CACHE
-    _WORKER_DB_CACHE = DatabaseCache(max_entries=WORKER_DB_CACHE_SIZE)
+    store = SnapshotStore(store_root) if store_root else None
+    _WORKER_DB_CACHE = DatabaseCache(max_entries=WORKER_DB_CACHE_SIZE, store=store)
 
 
-def _run_task(task: Tuple[int, SweepPoint]) -> Tuple[int, Dict[str, Any]]:
+def _stats_delta(
+    after: Dict[str, Any], before: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Counter-wise ``after - before`` (workers' caches are long-lived)."""
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+def _run_task(
+    task: Tuple[int, SweepPoint]
+) -> Tuple[int, Dict[str, Any], Dict[str, Any]]:
     index, point = task
-    return index, execute_point(point, _WORKER_DB_CACHE)
+    cache = _WORKER_DB_CACHE
+    before = cache.stats_snapshot() if cache is not None else {}
+    payload = execute_point(point, cache)
+    after = cache.stats_snapshot() if cache is not None else {}
+    return index, payload, _stats_delta(after, before)
 
 
 def _dispatch_key(point: SweepPoint) -> Tuple:
@@ -391,16 +429,21 @@ def run_sweep(
             pending.append(i)
 
     hits = len(points) - len(pending)
+    db_stats: Dict[str, Any] = {}
     if pending:
         if jobs > 1 and len(pending) > 1:
-            _run_parallel(points, pending, keys, results, cache, jobs)
+            db_stats = _run_parallel(points, pending, keys, results, cache, jobs)
         else:
-            db_cache = DatabaseCache()
+            db_cache = DatabaseCache(store=_db_store())
+            before = db_cache.stats_snapshot()
             for i in pending:
                 payload = execute_point(points[i], db_cache)
                 if cache is not None and keys[i] is not None:
                     cache.put(keys[i], payload)
                 results[i] = _payload_to_result(payload)
+            # Delta, not totals: the store singleton's counters span
+            # every run_sweep call in this process.
+            db_stats = _stats_delta(db_cache.stats_snapshot(), before)
 
     entry = {
         "points": len(points),
@@ -408,6 +451,7 @@ def run_sweep(
         "executed": len(pending),
         "jobs": jobs,
         "seconds": time.perf_counter() - t_start,
+        "db": db_stats,
     }
     entry.update(_aggregate_reports(results))
     SWEEP_LOG.append(entry)
@@ -445,7 +489,7 @@ def _run_parallel(
     results: List[Any],
     cache: Optional[PointCache],
     jobs: int,
-) -> None:
+) -> Dict[str, Any]:
     import multiprocessing as mp
 
     # Group same-database points into contiguous chunks so a worker's
@@ -454,12 +498,18 @@ def _run_parallel(
     chunksize = max(1, min(8, (len(order) + jobs * 4 - 1) // (jobs * 4)))
     method = "fork" if "fork" in mp.get_all_start_methods() else None
     context = mp.get_context(method)
-    with context.Pool(processes=jobs, initializer=_init_worker) as pool:
+    db_stats: Dict[str, Any] = {}
+    with context.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(DB_STORE_ROOT,)
+    ) as pool:
         tasks = [(i, points[i]) for i in order]
-        for index, payload in pool.imap_unordered(_run_task, tasks, chunksize):
+        for index, payload, delta in pool.imap_unordered(_run_task, tasks, chunksize):
             if cache is not None and keys[index] is not None:
                 cache.put(keys[index], payload)
             results[index] = _payload_to_result(payload)
+            for key, value in delta.items():
+                db_stats[key] = db_stats.get(key, 0) + value
+    return db_stats
 
 
 def run_sweep_reports(

@@ -9,9 +9,13 @@ figure/section under ``DIR`` (default ``results/``) and prints everything
 to stdout.  ``--jobs N`` fans sweep points out over N worker processes
 (results are bit-identical to serial); finished points are memoized in
 ``DIR/.pointcache/`` so repeated or interrupted runs resume instantly
-(``--no-point-cache`` disables that).  Per-experiment wall-clock and
-point-count telemetry lands in ``--bench-out`` (default
-``BENCH_sweeps.json``) so the perf trajectory is machine-readable.
+(``--no-point-cache`` disables that).  Built databases are frozen into
+copy-on-write snapshots under ``DIR/.dbcache/`` — every later point,
+worker and report run attaches a clone in milliseconds instead of
+rebuilding (``--no-db-cache`` disables that).  Per-experiment
+wall-clock, point-count and build/attach telemetry lands in
+``--bench-out`` (default ``BENCH_sweeps.json``) so the perf trajectory
+is machine-readable.
 EXPERIMENTS.md records a run of this module next to the paper's reported
 shapes.
 """
@@ -97,6 +101,13 @@ def _sum_nested(sweeps: List[dict], field: str) -> dict:
     return totals
 
 
+def _round_floats(counters: dict, digits: int = 3) -> dict:
+    return {
+        key: (round(value, digits) if isinstance(value, float) else value)
+        for key, value in counters.items()
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -124,6 +135,12 @@ def main(argv=None) -> int:
         help="recompute every sweep point instead of memoizing under OUT/.pointcache",
     )
     parser.add_argument(
+        "--no-db-cache",
+        action="store_true",
+        help="rebuild every database instead of attaching copy-on-write "
+        "snapshot clones from OUT/.dbcache",
+    )
+    parser.add_argument(
         "--bench-out",
         default="BENCH_sweeps.json",
         help="telemetry JSON path ('' disables)",
@@ -131,6 +148,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     os.makedirs(args.out, exist_ok=True)
 
+    pool.configure_db_store(
+        None
+        if args.no_db_cache
+        else os.path.join(args.out, pool.DB_CACHE_DIRNAME)
+    )
     suite = experiment_suite(
         args.scale,
         jobs=args.jobs,
@@ -161,6 +183,7 @@ def main(argv=None) -> int:
         sweeps = pool.SWEEP_LOG[sweeps_before:]
         buffer = _sum_nested(sweeps, "buffer")
         io = _sum_nested(sweeps, "io")
+        db = _round_floats(_sum_nested(sweeps, "db"))
         telemetry.append(
             {
                 "name": name,
@@ -170,6 +193,7 @@ def main(argv=None) -> int:
                 "executed": sum(s["executed"] for s in sweeps),
                 "buffer": buffer,
                 "io": io,
+                "db": db,
             }
         )
         text = annotate(name, result)
@@ -195,11 +219,16 @@ def main(argv=None) -> int:
     print("total: %.1fs" % total_seconds)
 
     if args.bench_out:
+        db_totals = _round_floats(_sum_nested(telemetry, "db"))
+        store = pool._db_store()
         bench = {
-            "schema": 1,
+            "schema": 2,
             "scale": args.scale,
             "jobs": args.jobs,
             "point_cache": not args.no_point_cache,
+            "db_cache": not args.no_db_cache,
+            "db": db_totals,
+            "db_bytes_on_disk": store.bytes_on_disk() if store else 0,
             "cpu_count": os.cpu_count(),
             "python": "%d.%d.%d" % sys.version_info[:3],
             "code_fingerprint": pool.code_fingerprint()[:16],

@@ -21,11 +21,14 @@ cache, buffer pool and counters between runs.
 
 from __future__ import annotations
 
+import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.strategies.base import make_strategy
+from repro.storage.snapshot import Snapshot, SnapshotStore
 from repro.util.fmt import format_table
 from repro.workload.driver import CostReport, run_sequence
 from repro.workload.generator import build_database
@@ -120,6 +123,13 @@ class DatabaseCache:
     long sweep — or a pool worker that sees many shapes — cannot hold
     every database it ever built.  Rebuilding an evicted database is
     fully deterministic, so a bound never changes measured results.
+
+    With a :class:`~repro.storage.snapshot.SnapshotStore`, a cache miss
+    first consults the store: a stored snapshot is *attached* (a
+    copy-on-write clone, milliseconds) instead of rebuilt (seconds), and
+    a fresh build is frozen into the store for every later worker and
+    report run.  The cached entry is always the mutable clone, so reuse
+    semantics across points are identical with and without a store.
     """
 
     #: Parameters that change the stored data (anything else can vary
@@ -139,9 +149,18 @@ class DatabaseCache:
         "seed",
     )
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        store: Optional[SnapshotStore] = None,
+    ) -> None:
         self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
         self.max_entries = max_entries
+        self.store = store
+        self.builds = 0
+        self.attaches = 0
+        self.build_seconds = 0.0
+        self.attach_seconds = 0.0
 
     def shape_key(
         self,
@@ -163,8 +182,11 @@ class DatabaseCache:
         key = self.shape_key(params, clustering, cache, procedural)
         db = self._cache.get(key)
         if db is None:
-            db = build_database(
-                params, clustering=clustering, cache=cache, procedural=procedural
+            db = self._materialize(
+                key,
+                lambda: build_database(
+                    params, clustering=clustering, cache=cache, procedural=procedural
+                ),
             )
             self._cache[key] = db
             self._evict_over_bound()
@@ -179,12 +201,59 @@ class DatabaseCache:
         key = ("deep", params)
         db = self._cache.get(key)
         if db is None:
-            db = build_deep_database(params)
+            db = self._materialize(key, lambda: build_deep_database(params))
             self._cache[key] = db
             self._evict_over_bound()
         elif self.max_entries is not None:
             self._cache.move_to_end(key)
         return db
+
+    def _materialize(self, key: Tuple, build) -> Any:
+        """A runnable database for ``key``: attach from the store or build.
+
+        Without a store this is a plain timed build.  With one, a stored
+        snapshot is attached; a miss builds, freezes the build into the
+        store, and attaches a clone of it — so the measured run always
+        executes against a snapshot clone, making warm and cold runs go
+        through one code path (their trace digests must be identical).
+        """
+        if self.store is None:
+            t0 = time.perf_counter()
+            db = build()
+            self.builds += 1
+            self.build_seconds += time.perf_counter() - t0
+            return db
+        store_key = self.snapshot_key(key)
+        snapshot = self.store.get(store_key)
+        if snapshot is None:
+            t0 = time.perf_counter()
+            snapshot = Snapshot.freeze(build())
+            self.builds += 1
+            self.build_seconds += time.perf_counter() - t0
+            self.store.put(store_key, snapshot)
+        t0 = time.perf_counter()
+        clone = snapshot.attach()
+        self.attaches += 1
+        self.attach_seconds += time.perf_counter() - t0
+        return clone
+
+    @staticmethod
+    def snapshot_key(key: Tuple) -> str:
+        """Stable store key for one shape (the source fingerprint is
+        embedded in the store's filenames, not here)."""
+        return hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Build/attach counters plus the store's hit counters (if any)."""
+        stats: Dict[str, Any] = {
+            "builds": self.builds,
+            "attaches": self.attaches,
+            "build_seconds": self.build_seconds,
+            "attach_seconds": self.attach_seconds,
+        }
+        if self.store is not None:
+            stats.update(self.store.stats)
+        return stats
 
     def _evict_over_bound(self) -> None:
         if self.max_entries is None:

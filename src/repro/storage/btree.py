@@ -143,6 +143,16 @@ class BTreeFile:
         self._leaf_key_cache: Dict[int, Tuple[int, List[Any]]] = {}
         self._sep_cache: Dict[int, Tuple[int, List[Any]]] = {}
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # The key caches are pure memoization (dropping them skips no
+        # I/O); excluding them keeps database snapshots small and lets
+        # every snapshot clone rebuild its own caches on first use
+        # instead of carrying a deep copy of the template's.
+        state = self.__dict__.copy()
+        state["_leaf_key_cache"] = {}
+        state["_sep_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
@@ -247,6 +257,10 @@ class BTreeFile:
     # ------------------------------------------------------------------
     def _fetch(self, page_no: int) -> Page:
         return self.pool.fetch(PageId(self.file_id, page_no))
+
+    def _fetch_writable(self, page_no: int) -> Page:
+        """Fetch with write intent (copy-on-write for snapshot clones)."""
+        return self.pool.writable(PageId(self.file_id, page_no))
 
     def _leaf_keys(self, page: Page) -> List[Any]:
         page_no = page.page_id.page_no
@@ -378,7 +392,7 @@ class BTreeFile:
 
         path = self._descend(key)
         leaf_no = path[-1]
-        page = self._fetch(leaf_no)
+        page = self._fetch_writable(leaf_no)
         keys = self._leaf_keys(page)
         slot = bisect.bisect_left(keys, key)
         if self.unique and slot < len(keys) and keys[slot] == key:
@@ -396,7 +410,7 @@ class BTreeFile:
         self, path: List[int], record: Tuple[Any, ...], size: int, slot: int
     ) -> None:
         leaf_no = path[-1]
-        page = self._fetch(leaf_no)
+        page = self._fetch_writable(leaf_no)
         records = page.pop_all()
         records.insert(slot, record)
         mid = len(records) // 2
@@ -429,7 +443,7 @@ class BTreeFile:
             self.height += 1
             return
         node_no = path[-1]
-        page = self._fetch(node_no)
+        page = self._fetch_writable(node_no)
         seps = self._separators(page)
         slot = bisect.bisect_right(seps, sep)
         if page.fits(INDEX_ENTRY_BYTES):
@@ -469,7 +483,7 @@ class BTreeFile:
         page_no, slot = self._find_leaf_slot(key)
         if page_no is None:
             raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
-        page = self._fetch(page_no)
+        page = self._fetch_writable(page_no)
         keys = self._leaf_keys(page)
         if slot >= len(keys) or keys[slot] != key:
             raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
@@ -494,7 +508,7 @@ class BTreeFile:
         page_no, slot = self._find_leaf_slot(key)
         if page_no is None:
             raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
-        page = self._fetch(page_no)
+        page = self._fetch_writable(page_no)
         keys = self._leaf_keys(page)
         if slot >= len(keys) or keys[slot] != key:
             raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))

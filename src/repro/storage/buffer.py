@@ -196,6 +196,22 @@ class BufferPool:
             frame.pins += 1
         return frame.page
 
+    def writable(self, page_id: PageId, pin: bool = False) -> Page:
+        """Fetch ``page_id`` with write intent (copy-on-write aware).
+
+        Identical accounting to :meth:`fetch`, but if the page is frozen
+        (shared with a database snapshot) it is first swapped for a
+        private copy so the caller's mutation cannot leak into other
+        clones of the snapshot.  The copy itself is not charged as I/O —
+        a real engine modifies the buffered frame in place; page sharing
+        is an artifact of the simulator keeping live objects on "disk".
+        """
+        page = self.fetch(page_id, pin=pin)
+        if page.frozen:
+            page = self.disk.cow_page(page_id)
+            self._frames[page_id].page = page
+        return page
+
     def new_page(self, file_id: int, pin: bool = False) -> Page:
         """Allocate a fresh page and install it dirty (no read charged)."""
         self._make_room()

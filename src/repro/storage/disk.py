@@ -162,6 +162,46 @@ class DiskManager:
         return self._get(page_id)
 
     # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Seal every page for snapshot sharing (see :meth:`clone`)."""
+        for pages in self._files.values():
+            for page in pages:
+                page.freeze()
+
+    def clone(self) -> "DiskManager":
+        """A new disk sharing this disk's (frozen) pages.
+
+        O(#files + #pages) pointer copies: the per-file page lists are
+        fresh lists, but the :class:`Page` objects themselves are shared
+        until a clone's write path copies one (:meth:`cow_page`).  The
+        clone starts with zeroed I/O counters and no ``io_hook``.
+        """
+        dup = DiskManager(self.page_size)
+        dup._files = {fid: list(pages) for fid, pages in self._files.items()}
+        dup._file_names = dict(self._file_names)
+        dup._next_file_id = self._next_file_id
+        dup._file_reads = dict.fromkeys(self._file_reads, 0)
+        dup._file_writes = dict.fromkeys(self._file_writes, 0)
+        return dup
+
+    def cow_page(self, page_id: PageId) -> Page:
+        """Replace a frozen, snapshot-shared page with a private copy.
+
+        Called by the buffer pool's write path the first time a page is
+        dirtied after a snapshot attach.  No I/O is charged: a real engine
+        would modify the already-buffered frame in place — page sharing
+        exists only because the simulator's disk holds live objects.
+        """
+        page = self._get(page_id)
+        if not page.frozen:
+            return page
+        dup = page.copy()
+        self._files[page_id.file_id][page_id.page_no] = dup
+        return dup
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def snapshot(self) -> IoSnapshot:

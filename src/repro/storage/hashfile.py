@@ -111,7 +111,7 @@ class HashFile:
         last = None
         for page_no in self._chain(self._bucket(key)):
             last = page_no
-            page = self.pool.fetch(PageId(self.file_id, page_no))
+            page = self.pool.writable(PageId(self.file_id, page_no))
             for existing in page:
                 if self._key(existing) == key:
                     raise DuplicateKeyError(
@@ -124,7 +124,7 @@ class HashFile:
                 return
         assert last is not None
         overflow_no = self._grab_overflow_page()
-        page = self.pool.fetch(PageId(self.file_id, overflow_no))
+        page = self.pool.writable(PageId(self.file_id, overflow_no))
         if not page.fits(size):
             raise StorageError(
                 "record of %d bytes exceeds page capacity in %r" % (size, self.name)
@@ -146,7 +146,7 @@ class HashFile:
         prev: Optional[int] = None
         for page_no in self._chain(self._bucket(key)):
             page_id = PageId(self.file_id, page_no)
-            page = self.pool.fetch(page_id)
+            page = self.pool.writable(page_id)
             for slot, record in page.entries():
                 if self._key(record) == key:
                     page.delete(slot)
@@ -185,7 +185,7 @@ class HashFile:
         """
         for bucket in range(self.buckets):
             page_id = PageId(self.file_id, bucket)
-            page = self.pool.fetch(page_id)
+            page = self.pool.writable(page_id)
             if len(page):
                 page.pop_all()
                 self.pool.mark_dirty(page_id)

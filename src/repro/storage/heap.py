@@ -62,7 +62,7 @@ class HeapFile:
         size = self.schema.record_size(record)
         if self._tail_page_no is not None:
             tail_id = PageId(self.file_id, self._tail_page_no)
-            page = self.pool.fetch(tail_id)
+            page = self.pool.writable(tail_id)
             if page.fits(size):
                 slot = page.insert(record, size)
                 self.pool.mark_dirty(tail_id)
@@ -86,7 +86,7 @@ class HeapFile:
         """Overwrite the record at ``rid`` in place."""
         self.schema.validate(record)
         page_id = PageId(self.file_id, rid.page_no)
-        page = self.pool.fetch(page_id)
+        page = self.pool.writable(page_id)
         if rid.slot >= len(page):
             raise StorageError("no record at %r in heap %r" % (rid, self.name))
         page.replace(rid.slot, record, self.schema.record_size(record))

@@ -116,7 +116,7 @@ class IsamIndex:
         last = start
         for page_no in self._chain(start):
             last = page_no
-            page = self.pool.fetch(PageId(self.file_id, page_no))
+            page = self.pool.writable(PageId(self.file_id, page_no))
             if page.fits(ISAM_ENTRY_BYTES):
                 entry_keys = [e[0] for e in page.records]
                 slot = bisect.bisect_left(entry_keys, key)

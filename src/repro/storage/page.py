@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
 
-from repro.errors import PageFullError
+from repro.errors import FrozenPageError, PageFullError
 
 DEFAULT_PAGE_SIZE = 2048
 PAGE_HEADER_BYTES = 40
@@ -46,7 +46,15 @@ class Page:
     addresses (the B-tree, which is static after bulk load) never delete.
     """
 
-    __slots__ = ("page_id", "capacity", "used_bytes", "records", "_sizes", "version")
+    __slots__ = (
+        "page_id",
+        "capacity",
+        "used_bytes",
+        "records",
+        "_sizes",
+        "version",
+        "frozen",
+    )
 
     def __init__(self, page_id: PageId, capacity: int = DEFAULT_PAGE_SIZE) -> None:
         if capacity <= PAGE_HEADER_BYTES:
@@ -59,6 +67,42 @@ class Page:
         #: Bumped on every mutation; lets access methods cache derived
         #: views of a page (e.g. the B-tree's key column) safely.
         self.version = 0
+        #: Sealed by a database snapshot: the page may be shared between
+        #: clones, so every mutator refuses to run until the owner makes
+        #: a private copy (:meth:`copy`, arranged by the buffer pool's
+        #: copy-on-write path).
+        self.frozen = False
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Seal the page for snapshot sharing (mutators will refuse)."""
+        self.frozen = True
+
+    def copy(self) -> "Page":
+        """A private, unfrozen duplicate with identical contents.
+
+        The mutation counter is preserved so derived-view caches keyed on
+        ``(page_no, version)`` remain valid — the copy's contents are the
+        original's, byte for byte.  Records are immutable tuples and are
+        shared, not copied.
+        """
+        dup = Page.__new__(Page)
+        dup.page_id = self.page_id
+        dup.capacity = self.capacity
+        dup.used_bytes = self.used_bytes
+        dup.records = list(self.records)
+        dup._sizes = list(self._sizes)
+        dup.version = self.version
+        dup.frozen = False
+        return dup
+
+    def _require_mutable(self) -> None:
+        if self.frozen:
+            raise FrozenPageError(
+                "mutation of frozen page %s without copy-on-write" % (self.page_id,)
+            )
 
     # ------------------------------------------------------------------
     # capacity & mutation
@@ -78,6 +122,7 @@ class Page:
         are expected to probe with :meth:`fits` on the normal path; the
         exception guards against accounting bugs.
         """
+        self._require_mutable()
         if not self.fits(record_size):
             raise PageFullError(
                 "record of %d bytes does not fit in %d free bytes on %s"
@@ -91,6 +136,7 @@ class Page:
 
     def insert_at(self, slot: int, record: Any, record_size: int) -> None:
         """Insert ``record`` at ``slot``, shifting later slots right."""
+        self._require_mutable()
         if not self.fits(record_size):
             raise PageFullError(
                 "record of %d bytes does not fit in %d free bytes on %s"
@@ -111,6 +157,7 @@ class Page:
         :class:`PageFullError` (the paper's updates are same-size in-place
         modifications, so this path is exercised only by tests).
         """
+        self._require_mutable()
         old_size = self._sizes[slot]
         new_size = old_size if record_size is None else record_size
         growth = new_size - old_size
@@ -125,6 +172,7 @@ class Page:
 
     def delete(self, slot: int) -> Any:
         """Remove and return the record in ``slot`` (compacting the page)."""
+        self._require_mutable()
         record = self.records.pop(slot)
         size = self._sizes.pop(slot)
         self.used_bytes -= size + SLOT_BYTES
@@ -133,6 +181,7 @@ class Page:
 
     def pop_all(self) -> List[Any]:
         """Remove and return every record (used when rebuilding pages)."""
+        self._require_mutable()
         records = self.records
         self.records = []
         self._sizes = []

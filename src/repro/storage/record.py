@@ -20,7 +20,8 @@ Records themselves are plain tuples, positionally matched to the schema.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+import operator
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RecordError
 
@@ -170,6 +171,7 @@ class Schema:
             raise RecordError("duplicate field names in schema: %r" % (names,))
         self.fields: Tuple[Field, ...] = tuple(fields)
         self._index = {f.name: i for i, f in enumerate(fields)}
+        self._projectors: Dict[Tuple[str, ...], Callable[[Sequence[Any]], Tuple[Any, ...]]] = {}
         sizes = [f.fixed_size for f in self.fields]
         self._fixed_record_size: Optional[int] = (
             sum(sizes) if all(s is not None for s in sizes) else None  # type: ignore[arg-type]
@@ -222,9 +224,40 @@ class Schema:
         out[index] = new_value
         return tuple(out)
 
+    def projector(
+        self, names: Sequence[str]
+    ) -> Callable[[Sequence[Any]], Tuple[Any, ...]]:
+        """A precompiled projection callable for ``names`` (memoized).
+
+        Resolves the name -> position mapping once and returns an
+        :func:`operator.itemgetter` over the positions, so projecting a
+        record costs no dict lookups — this matters on per-record hot
+        paths (merge joins, temp spools) where :meth:`project` would pay
+        one ``field_index`` call per field per record.
+        """
+        key = tuple(names)
+        fn = self._projectors.get(key)
+        if fn is None:
+            indexes = tuple(self.field_index(n) for n in key)
+            if len(indexes) == 1:
+                index = indexes[0]
+                fn = lambda record: (record[index],)  # noqa: E731
+            else:
+                fn = operator.itemgetter(*indexes)
+            self._projectors[key] = fn
+        return fn
+
     def project(self, record: Sequence[Any], names: Sequence[str]) -> Tuple[Any, ...]:
         """Return the sub-tuple of ``record`` for ``names``, in order."""
-        return tuple(record[self.field_index(n)] for n in names)
+        return self.projector(names)(record)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Compiled projectors may close over local state; drop them so
+        # schemas pickle (snapshot store) and deep-copy (snapshot attach)
+        # cleanly — they are rebuilt lazily on first use.
+        state = self.__dict__.copy()
+        state["_projectors"] = {}
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "Schema(%s)" % ", ".join(self.names())
@@ -239,7 +272,4 @@ def pad_string(base: str, length: int) -> str:
     """
     if length <= 0:
         return ""
-    if len(base) >= length:
-        return base[:length]
-    reps = (length - len(base)) // len("x") + 1
-    return (base + "x" * reps)[:length]
+    return base[:length].ljust(length, "x")

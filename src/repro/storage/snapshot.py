@@ -1,0 +1,215 @@
+"""Copy-on-write database snapshots.
+
+Building the experimental database is the dominant cost of a cold sweep:
+every (shape, strategy) cell that misses the in-process database cache
+pays a full seeded rebuild of ParentRel/ChildRel/ClusterRel before a
+single query is measured.  The build is fully deterministic, so — like
+the OCB benchmark's reusable object bases — a built database is an
+artifact worth keeping.
+
+This module provides the two pieces that make reuse cheap and safe:
+
+* :class:`Snapshot` — a built database frozen into an immutable
+  template: dirty frames flushed, counters zeroed, every page sealed
+  (:meth:`repro.storage.page.Page.freeze`).  :meth:`Snapshot.attach`
+  returns a fully mutable clone in O(metadata): the Python-side
+  structures (catalog, B-tree sidecars, buffer pool, caches) are
+  deep-copied, but the pages — the bulk of a database — are *shared*
+  with the template.  The buffer pool's write path copies a shared page
+  the first time a clone dirties it
+  (:meth:`repro.storage.buffer.BufferPool.writable`), so clones never
+  observe each other's updates and the template is never modified.
+
+* :class:`SnapshotStore` — a persistent, process-shared store of pickled
+  snapshots (one file per shape under ``results/.dbcache/``), fronted by
+  a small in-memory LRU.  Pool workers and repeated report runs attach
+  in milliseconds instead of rebuilding.  Filenames embed the source
+  fingerprint, so any code change orphans every stored snapshot at once.
+
+Copy-on-write never changes measured costs: a real engine modifies the
+already-buffered frame in place, so the private copy is free — page
+sharing exists only because the simulator's "disk" holds live objects.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Snapshot:
+    """An immutable template of a built database.
+
+    Create one per database shape with :meth:`freeze`; get a runnable
+    clone per sweep point with :meth:`attach`.  The wrapped database
+    object becomes the template and must not be run directly afterwards
+    (its pages refuse mutation).
+    """
+
+    def __init__(self, db: Any) -> None:
+        self._db = db
+
+    @classmethod
+    def freeze(cls, db: Any) -> "Snapshot":
+        """Seal ``db``: flush dirty frames, zero counters, freeze pages."""
+        db.start_measurement(cold=True)
+        disk = db.disk
+        # A tracer hooked into this build must not leak into templates
+        # (closures are neither picklable nor meaningful across clones).
+        disk.io_hook = None
+        disk.freeze()
+        return cls(db)
+
+    def attach(self) -> Any:
+        """A fresh, fully mutable database clone sharing frozen pages.
+
+        Seeding the deepcopy memo with every page maps each page to
+        itself, so the copy descends through all Python-side metadata but
+        stops at page boundaries — O(#files + #pages) pointer work, not
+        O(bytes).
+        """
+        disk = self._db.disk
+        memo: Dict[int, Any] = {
+            id(page): page for pages in disk._files.values() for page in pages
+        }
+        return copy.deepcopy(self._db, memo)
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self._db, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Snapshot":
+        return cls(pickle.loads(blob))
+
+
+class SnapshotStore:
+    """Persistent store of database snapshots, shared across processes.
+
+    Keys are arbitrary strings (the sweep layer uses a hash of the
+    database shape); each key maps to one pickle file under ``root``.  A
+    bounded in-memory LRU of live :class:`Snapshot` objects fronts the
+    files so repeated attaches in one process skip re-unpickling.
+
+    Concurrency: writes go to a temporary file renamed into place
+    (atomic on POSIX), and builds are deterministic, so workers racing
+    on one key write identical bytes — last writer wins harmlessly and
+    readers never see a torn file.
+    """
+
+    FILE_PREFIX = "db-"
+
+    def __init__(
+        self,
+        root: str,
+        max_memory_entries: int = 4,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if fingerprint is None:
+            from repro.util.fingerprint import code_fingerprint
+
+            fingerprint = code_fingerprint()
+        self.root = root
+        self.fingerprint = fingerprint
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, Snapshot]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "puts": 0,
+        }
+
+    def _path(self, key: str) -> str:
+        return os.path.join(
+            self.root, "%s%s-%s.pkl" % (self.FILE_PREFIX, self.fingerprint[:12], key)
+        )
+
+    def get(self, key: str) -> Optional[Snapshot]:
+        """The snapshot for ``key``, or None (memory first, then disk)."""
+        snapshot = self._memory.get(key)
+        if snapshot is not None:
+            self._memory.move_to_end(key)
+            self.stats["memory_hits"] += 1
+            return snapshot
+        try:
+            with open(self._path(key), "rb") as handle:
+                snapshot = Snapshot.from_bytes(handle.read())
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except Exception:
+            # A corrupt or unreadable pickle is a miss, never an error:
+            # the caller rebuilds deterministically and overwrites it.
+            self.stats["misses"] += 1
+            return None
+        self._remember(key, snapshot)
+        self.stats["disk_hits"] += 1
+        return snapshot
+
+    def put(self, key: str, snapshot: Snapshot) -> None:
+        """Persist ``snapshot`` under ``key`` (atomic replace)."""
+        self._remember(key, snapshot)
+        os.makedirs(self.root, exist_ok=True)
+        blob = snapshot.to_bytes()
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, prefix=".tmp-db-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats["puts"] += 1
+
+    def _remember(self, key: str, snapshot: Snapshot) -> None:
+        self._memory[key] = snapshot
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # maintenance / introspection (the ``repro dbcache`` subcommand)
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Tuple[str, int, float]]:
+        """``(filename, bytes, mtime)`` for every stored snapshot file.
+
+        Lists *all* fingerprints, not just the current one, so stale
+        files are visible (and countable) before a ``clear``.
+        """
+        out: List[Tuple[str, int, float]] = []
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not (name.startswith(self.FILE_PREFIX) and name.endswith(".pkl")):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            out.append((name, info.st_size, info.st_mtime))
+        return out
+
+    def bytes_on_disk(self) -> int:
+        return sum(size for _, size, _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every stored snapshot file; return how many."""
+        removed = 0
+        for name, _, _ in self.entries():
+            try:
+                os.unlink(os.path.join(self.root, name))
+                removed += 1
+            except OSError:
+                pass
+        self._memory.clear()
+        return removed

@@ -1,0 +1,37 @@
+"""Source-tree fingerprinting for persistent caches.
+
+Both persistent caches — the point cache (finished sweep measurements)
+and the database snapshot store (built databases) — key their entries by
+a hash of every ``repro`` source file.  Any change to the package — a
+strategy tweak, a storage fix, a new cost model — yields a new
+fingerprint and therefore invalidates every entry at once, which is
+exactly the safe behaviour: cached artifacts are only valid for the code
+that produced them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file; part of each cache key."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT

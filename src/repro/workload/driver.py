@@ -92,6 +92,8 @@ class CostReport:
             "update_io": self.update_io,
             "buffer_hit_rate": self.buffer_hit_rate,
             "cache": self.cache_stats,
+            "buffer_stats": self.buffer_stats,
+            "traced": self.traced,
         }
 
 

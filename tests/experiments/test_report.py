@@ -59,6 +59,7 @@ class TestMain:
         assert code == 0
         written = sorted(os.listdir(tmp_path / "out"))
         assert written == [
+            ".dbcache",
             ".pointcache",
             "ablation_buffer_policy.json",
             "ablation_buffer_policy.txt",
@@ -69,10 +70,17 @@ class TestMain:
         # Telemetry: one entry per experiment, with point counts.
         payload = json.loads(bench.read_text())
         assert payload["jobs"] == 1
+        assert payload["db_cache"] is True
         (entry,) = payload["experiments"]
         assert entry["name"] == "ablation_buffer_policy"
         assert entry["points"] == entry["executed"] + entry["cache_hits"]
         assert entry["points"] > 0
+        # The snapshot store saw every shape: builds happened exactly once
+        # per shape and the store holds their pickles.
+        assert entry["db"]["builds"] > 0
+        assert entry["db"]["attaches"] >= entry["db"]["builds"]
+        assert payload["db"]["builds"] == entry["db"]["builds"]
+        assert payload["db_bytes_on_disk"] > 0
 
     def test_point_cache_memoizes_across_runs(self, tmp_path):
         argv = [

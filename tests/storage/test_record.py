@@ -101,6 +101,28 @@ class TestSchema:
         schema = self.make()
         assert schema.project((1, 2, "x"), ["c", "a"]) == ("x", 1)
 
+    def test_project_single_field_returns_tuple(self):
+        schema = self.make()
+        assert schema.project((1, 2, "x"), ["b"]) == (2,)
+
+    def test_projector_is_memoized(self):
+        schema = self.make()
+        assert schema.projector(["a", "c"]) is schema.projector(("a", "c"))
+
+    def test_projector_unknown_field(self):
+        schema = self.make()
+        with pytest.raises(RecordError):
+            schema.projector(["nope"])
+
+    def test_projector_cache_survives_pickle_and_deepcopy(self):
+        import copy
+        import pickle
+
+        schema = self.make()
+        schema.projector(["a"])  # populate the (unpicklable) cache
+        for clone in (pickle.loads(pickle.dumps(schema)), copy.deepcopy(schema)):
+            assert clone.project((1, 2, "x"), ["c", "b"]) == ("x", 2)
+
     def test_unknown_field(self):
         schema = self.make()
         with pytest.raises(RecordError):
@@ -125,3 +147,14 @@ class TestPadString:
 
     def test_deterministic(self):
         assert pad_string("p", 30) == pad_string("p", 30)
+
+    def test_pins_exact_fill(self):
+        """The fill is 'x' characters appended to base — pinned byte-for-byte
+        so the generator's dummy values (and every derived page layout)
+        never drift across refactors."""
+        assert pad_string("p", 5) == "pxxxx"
+        assert pad_string("abc", 6) == "abcxxx"
+        assert pad_string("", 4) == "xxxx"
+        assert pad_string("abcdef", 6) == "abcdef"
+        assert pad_string("abcdef", 4) == "abcd"
+        assert pad_string("abc", -3) == ""
