@@ -9,6 +9,7 @@ Usage::
     python -m repro explain --strategy BFS --num-top 200
     python -m repro trace --strategy DFSCACHE --scale 0.05
     python -m repro dbcache ls                # stored database snapshots
+    python -m repro chaos --scale 0.1         # fault-injected sweep check
 """
 
 from __future__ import annotations
@@ -64,6 +65,15 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_policy(args: argparse.Namespace) -> None:
+    from repro.experiments.pool import configure_retry_policy
+
+    configure_retry_policy(
+        max_retries=getattr(args, "max_retries", None),
+        point_timeout=getattr(args, "point_timeout", None),
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.pool import (
         DB_CACHE_DIRNAME,
@@ -72,6 +82,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         run_sweep,
     )
 
+    _configure_policy(args)
     configure_db_store(
         None
         if args.no_db_cache
@@ -116,7 +127,26 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv += ["--no-db-cache"]
     if args.bench_out is not None:
         argv += ["--bench-out", args.bench_out]
+    if args.max_retries is not None:
+        argv += ["--max-retries", str(args.max_retries)]
+    if args.point_timeout is not None:
+        argv += ["--point-timeout", str(args.point_timeout)]
     return report_main(argv)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.fault.chaos import run_chaos
+
+    _configure_policy(args)
+    return run_chaos(
+        scale=args.scale,
+        fault_seed=args.fault_seed,
+        jobs=args.jobs,
+        out=args.out,
+        faults=args.faults,
+        phase=args.phase,
+        kill_after=args.kill_after,
+    )
 
 
 def cmd_dbcache(args: argparse.Namespace) -> int:
@@ -265,6 +295,19 @@ def cmd_footprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-retries", dest="max_retries", type=int, default=None,
+        help="per-point retry budget before the point is quarantined "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--point-timeout", dest="point_timeout", type=float, default=None,
+        help="seconds one point may run before it counts as a failed "
+        "attempt (default: no limit)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--version", action="version", version=__version__)
@@ -288,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-db-cache", dest="no_db_cache", action="store_true",
                      help="rebuild the database instead of attaching a "
                      "snapshot clone from OUT/.dbcache")
+    _add_policy_flags(run)
 
     report = sub.add_parser("report", help="run every figure/table experiment")
     report.add_argument("--scale", type=float, default=0.5)
@@ -303,6 +347,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rebuild every database (skip OUT/.dbcache)")
     report.add_argument("--bench-out", dest="bench_out", default=None,
                         help="telemetry JSON path ('' disables)")
+    _add_policy_flags(report)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a sweep under injected faults and assert the recovered "
+        "results are bit-identical to a fault-free run",
+    )
+    chaos.add_argument("--scale", type=float, default=0.1)
+    chaos.add_argument("--fault-seed", dest="fault_seed", type=int, default=0,
+                       help="seed of the fault schedule (same seed = same "
+                       "injection points)")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (adds worker-crash faults)")
+    chaos.add_argument("--out", default="results",
+                       help="results directory (chaos writes under OUT/chaos)")
+    chaos.add_argument("--faults", default=None,
+                       help="override the stock schedule: "
+                       "site=rate[xCOUNT][@AFTER],... "
+                       "(sites: disk.read, disk.write, disk.torn, "
+                       "snapshot.load, snapshot.save, pointcache.load, "
+                       "pointcache.save, worker.crash, worker.hang, "
+                       "point.poison, sweep.kill)")
+    chaos.add_argument("--phase", choices=("all", "kill", "resume"),
+                       default="all",
+                       help="all: reference/cold/warm digest comparison; "
+                       "kill: SIGKILL the sweep after --kill-after points "
+                       "(exits 137); resume: resume it and verify the "
+                       "checkpoint")
+    chaos.add_argument("--kill-after", dest="kill_after", type=int, default=2,
+                       help="completed points before the kill fault fires")
+    _add_policy_flags(chaos)
 
     footprint = sub.add_parser("footprint", help="show per-relation pages")
     footprint.add_argument("--scale", type=float, default=0.1)
@@ -346,6 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import SweepInterrupted
+
     args = build_parser().parse_args(argv)
     handlers = {
         "list": cmd_list,
@@ -355,8 +432,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "footprint": cmd_footprint,
         "trace": cmd_trace,
         "dbcache": cmd_dbcache,
+        "chaos": cmd_chaos,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except SweepInterrupted as exc:
+        # Ctrl-C mid-sweep: workers are already terminated and every
+        # completed point is checkpointed in the point cache.
+        sys.stderr.write(
+            "\ninterrupted: %d/%d sweep point(s) completed and "
+            "checkpointed — rerun the same command to resume.\n"
+            % (exc.completed, exc.total)
+        )
+        return 130
+    except KeyboardInterrupt:
+        # Ctrl-C outside a sweep (build, table rendering, ...).
+        sys.stderr.write("\ninterrupted.\n")
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

@@ -67,3 +67,68 @@ class RepresentationError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload parameters (e.g. inconsistent sharing factors)."""
+
+
+class FaultInjected(ReproError):
+    """An error injected by the fault plan (:mod:`repro.fault`).
+
+    Recovery code treats these exactly like the real failure they stand
+    in for; the ``site`` attribute records which unreliable boundary
+    fired (``disk.read``, ``snapshot.load``, ...).
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        message = "injected fault at %s" % site
+        if detail:
+            message += " (%s)" % detail
+        super().__init__(message)
+        self.site = site
+
+
+class CacheCorrupt(ReproError):
+    """A persistent cache entry failed its checksum or was truncated.
+
+    Raised internally by the snapshot store and the point cache; both
+    quarantine the entry and treat it as a miss, so this never escapes
+    to callers.
+    """
+
+
+class WorkerLost(ReproError):
+    """A sweep worker crashed, hung past its deadline, or its pool broke."""
+
+
+class PointFailed(ReproError):
+    """A sweep point could not be measured (bad spec or retries exhausted).
+
+    ``point`` is the failing :class:`~repro.experiments.pool.SweepPoint`,
+    ``attempts`` how many executions were tried (0 for spec errors, which
+    no retry can fix), and ``cause`` the final underlying exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        point: object = None,
+        attempts: int = 0,
+        cause: "BaseException | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.point = point
+        self.attempts = attempts
+        self.cause = cause
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was interrupted (Ctrl-C) after checkpointing its progress.
+
+    Completed points are already flushed to the point cache, so rerunning
+    the same command resumes from the last completed point.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            "sweep interrupted after %d/%d points" % (completed, total)
+        )
+        self.completed = completed
+        self.total = total

@@ -1,4 +1,5 @@
-"""Parallel, resumable sweep execution with a persistent point cache.
+"""Parallel, resumable, fault-tolerant sweep execution with a persistent
+point cache.
 
 Every experiment in this package is a parameter sweep: a grid of
 (parameter point, strategy) cells, each measured independently.  This
@@ -9,16 +10,17 @@ module turns that structure into an explicit execution layer:
   query point).  Experiments build a flat list of points and get their
   :class:`~repro.workload.driver.CostReport` rows back *in input order*;
 * :func:`run_sweep` — executes a point list serially (``jobs=1``, the
-  default) or fans it out over a ``multiprocessing`` pool.  Workers
-  build and reuse databases locally through a bounded per-worker
+  default) or fans it out over a process pool.  Workers build and reuse
+  databases locally through a bounded per-worker
   :class:`~repro.experiments.runner.DatabaseCache`; only the measured
   reports travel back to the parent, so results are bit-for-bit
   identical to a serial run regardless of completion order;
-* :class:`PointCache` — a persistent on-disk memo (JSON-lines under
-  ``results/.pointcache/``) keyed by a stable hash of the point plus a
-  fingerprint of the ``repro`` source tree.  Finished points are never
-  recomputed: an interrupted or repeated sweep resumes from the cache,
-  and any code change invalidates every entry at once.
+* :class:`PointCache` — a persistent on-disk memo (one checksummed JSON
+  file per finished point under ``results/.pointcache/``) keyed by a
+  stable hash of the point plus a fingerprint of the ``repro`` source
+  tree.  Finished points are never recomputed: an interrupted, killed or
+  repeated sweep resumes from the cache, and any code change invalidates
+  every entry at once.
 
 Databases themselves are reused through the copy-on-write snapshot
 store (:mod:`repro.storage.snapshot`): when :func:`configure_db_store`
@@ -28,12 +30,38 @@ point attaches a clone in milliseconds — serially, in every pool
 worker, and across repeated report runs.  ``SWEEP_LOG`` entries carry
 the build/attach split so the saving is visible in telemetry.
 
+Fault tolerance (see :mod:`repro.fault`): a point's measurement is
+deterministic, so every failure is recoverable by re-deriving state —
+
+* a failed execution (I/O error, torn page, trace-validation mismatch,
+  injected fault) is retried with exponential backoff against a freshly
+  attached database, up to :class:`RetryPolicy.max_retries`;
+* a point that exhausts its retries is *quarantined*: the sweep records
+  a :class:`FailedPoint` (whose numeric attributes read as NaN, so
+  tables render with degraded cells instead of dying) and continues;
+* pool workers that crash or hang past ``point_timeout`` are detected
+  in the parent, the pool is rebuilt, and their points re-dispatched; a
+  pool that keeps failing degrades the remainder of the sweep to serial
+  in-process execution;
+* Ctrl-C terminates workers, keeps every completed point checkpointed
+  in the cache, and raises :class:`~repro.errors.SweepInterrupted` so
+  the CLI can print a "rerun to resume" hint instead of a traceback;
+* every point is flushed to the :class:`PointCache` atomically the
+  moment it completes, so even a SIGKILL'd sweep resumes from its last
+  completed point.
+
+Fault and recovery counters (injections, retries, timeouts, pool
+restarts, quarantined cells, cache corruption and downgrades) land in
+each ``SWEEP_LOG`` entry and the process-wide
+:class:`~repro.obs.MetricsRegistry`.
+
 Determinism contract: a point's measurement depends only on its spec.
 The database build is seeded, ``run_sequence(reset=True)`` starts every
 run from a cold buffer pool and an empty cache, and the workload's
 updates rewrite fixed-size integer fields in place — so re-running a
 point against a reused database yields the same report as against a
-fresh one (``tests/experiments/test_pool.py`` pins this down).
+fresh one (``tests/experiments/test_pool.py`` pins this down, and
+``tests/fault/`` pins that recovery never changes a measured result).
 """
 
 from __future__ import annotations
@@ -42,12 +70,26 @@ import dataclasses
 import hashlib
 import json
 import os
+import signal
+import sys
+import tempfile
+import threading
 import time
+from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.strategies.base import make_strategy
+from repro.errors import (
+    CacheCorrupt,
+    FaultInjected,
+    PointFailed,
+    SweepInterrupted,
+    WorkerLost,
+)
 from repro.experiments.runner import DatabaseCache, adaptive_queries
+from repro.fault import plan as _fault
 from repro.storage.snapshot import SnapshotStore
 from repro.util.fingerprint import code_fingerprint  # noqa: F401  (re-export)
 from repro.workload.driver import CostReport, run_sequence
@@ -68,9 +110,58 @@ DB_CACHE_DIRNAME = ".dbcache"
 WORKER_DB_CACHE_SIZE = 4
 
 #: Telemetry trail: one entry per :func:`run_sweep` call, with point
-#: counts, cache hits and wall-clock seconds.  The report runner drains
-#: this into ``BENCH_sweeps.json``.
+#: counts, cache hits, fault/recovery counters and wall-clock seconds.
+#: The report runner drains this into ``BENCH_sweeps.json``.
 SWEEP_LOG: List[Dict[str, Any]] = []
+
+
+# ----------------------------------------------------------------------
+# retry / timeout policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure budget for one sweep.
+
+    ``max_retries`` is per point (so a point runs at most
+    ``max_retries + 1`` times); ``backoff_seconds`` is the base of the
+    exponential backoff between attempts; ``point_timeout`` bounds one
+    execution (SIGALRM in serial runs, parent-side watchdog for pool
+    workers; ``None`` disables); ``max_pool_restarts`` bounds how often
+    a crashed or hung worker pool is rebuilt before the sweep degrades
+    to serial execution.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    point_timeout: Optional[float] = None
+    max_pool_restarts: int = 5
+
+
+#: The policy :func:`run_sweep` uses when none is passed explicitly
+#: (experiments never pass one; the CLI's ``--max-retries`` and
+#: ``--point-timeout`` flags configure this).
+DEFAULT_POLICY = RetryPolicy()
+
+
+def configure_retry_policy(
+    max_retries: Optional[int] = None,
+    point_timeout: Optional[float] = None,
+    backoff_seconds: Optional[float] = None,
+) -> None:
+    """Adjust :data:`DEFAULT_POLICY` (None leaves a field unchanged)."""
+    global DEFAULT_POLICY
+    DEFAULT_POLICY = dataclasses.replace(
+        DEFAULT_POLICY,
+        **{
+            name: value
+            for name, value in (
+                ("max_retries", max_retries),
+                ("point_timeout", point_timeout),
+                ("backoff_seconds", backoff_seconds),
+            )
+            if value is not None
+        },
+    )
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +226,15 @@ def _canonical(obj: Any) -> Any:
     return obj
 
 
+def point_label(point: SweepPoint) -> str:
+    """A short human-readable cell name for logs and degraded-cell lists."""
+    if point.kind == "deep":
+        return "deep:%s@depth=%s,span=%s" % (point.runner, point.depth, point.span)
+    params = point.params
+    num_top = getattr(params, "num_top", "?")
+    return "%s@num_top=%s" % (point.strategy or "?", num_top)
+
+
 # ----------------------------------------------------------------------
 # database snapshot store configuration
 # ----------------------------------------------------------------------
@@ -187,38 +287,93 @@ def point_key(point: SweepPoint) -> str:
 # persistent point cache
 # ----------------------------------------------------------------------
 class PointCache:
-    """On-disk memo of finished sweep points (JSON-lines).
+    """On-disk memo of finished sweep points, one checksummed file each.
 
-    One file per code fingerprint; entries from older fingerprints are
-    simply never consulted.  Writes are line-atomic appends, so an
-    interrupted sweep leaves at worst one torn trailing line, which
-    :meth:`_load` skips.
+    Entries live under ``root/points-<fingerprint>/<key>.json`` (one
+    directory per code fingerprint; older fingerprints are simply never
+    consulted).  Every entry is written to a temporary file, fsynced and
+    atomically renamed into place — the same discipline as the snapshot
+    store — so a crash (even SIGKILL) can never leave a torn entry: an
+    interrupted sweep resumes from exactly its last completed point.
+
+    Each entry embeds a SHA-256 checksum of its content.  A zero-byte,
+    truncated or bit-flipped entry fails verification at load time, is
+    quarantined (renamed ``*.corrupt``) and treated as a miss — the
+    point is recomputed deterministically and re-stored.  If the cache
+    directory becomes unwritable mid-sweep, the cache downgrades to
+    memory-only operation instead of failing the run.
     """
 
     def __init__(self, root: str) -> None:
         self.root = root
         self.fingerprint = code_fingerprint()
-        self.path = os.path.join(root, "points-%s.jsonl" % self.fingerprint[:16])
+        self.dir = os.path.join(root, "points-%s" % self.fingerprint[:16])
         self._entries: Dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries quarantined after failing verification.
+        self.corrupt = 0
+        #: Write-path failures that downgraded the cache to memory-only.
+        self.downgrades = 0
+        #: False once a write failure disabled on-disk persistence.
+        self.persistent = True
         self._load()
 
+    # -- loading -------------------------------------------------------
     def _load(self) -> None:
-        if not os.path.exists(self.path):
+        try:
+            names = sorted(os.listdir(self.dir))
+        except OSError:  # no directory yet
             return
-        with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:  # torn tail from an interrupted run
-                    continue
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            entry = self._read_entry(os.path.join(self.dir, name))
+            if entry is not None:
                 self._entries[entry["key"]] = entry["result"]
 
+    def _read_entry(self, path: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        blob = _fault.corrupt_bytes("pointcache.load", blob)
+        try:
+            if not blob.strip():
+                raise CacheCorrupt("zero-byte or blank entry")
+            entry = json.loads(blob.decode("utf-8"))
+            if not isinstance(entry, dict):
+                raise CacheCorrupt("entry is not an object")
+            checksum = self._checksum(entry.get("key"), entry.get("result"))
+            if entry.get("check") != checksum:
+                raise CacheCorrupt("entry checksum mismatch")
+        except (ValueError, UnicodeDecodeError, CacheCorrupt):
+            # Torn write, partial entry or bit rot: quarantine and treat
+            # as a miss — the point recomputes deterministically.
+            self._quarantine(path)
+            return None
+        return entry
+
+    def _quarantine(self, path: str) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _checksum(key: Any, result: Any) -> str:
+        payload = json.dumps(
+            {"key": key, "result": result}, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- access --------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -234,12 +389,80 @@ class PointCache:
         if key in self._entries:
             return
         self._entries[key] = result
-        os.makedirs(self.root, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(
-                json.dumps({"key": key, "result": result}, sort_keys=True) + "\n"
-            )
+        if self.persistent:
+            try:
+                self._write_entry(key, result)
+            except (OSError, FaultInjected) as exc:
+                # Keep sweeping from memory; resumability is lost but
+                # the run is not.
+                self.persistent = False
+                self.downgrades += 1
+                sys.stderr.write(
+                    "repro: point cache unwritable (%s: %s); "
+                    "continuing memory-only\n" % (type(exc).__name__, exc)
+                )
         self.stores += 1
+
+    def _write_entry(self, key: str, result: Dict[str, Any]) -> None:
+        _fault.hit("pointcache.save")
+        os.makedirs(self.dir, exist_ok=True)
+        payload = json.dumps(
+            {"key": key, "result": result, "check": self._checksum(key, result)},
+            sort_keys=True,
+        )
+        fd, tmp_path = tempfile.mkstemp(dir=self.dir, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, os.path.join(self.dir, key + ".json"))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "downgrades": self.downgrades,
+        }
+
+
+# ----------------------------------------------------------------------
+# quarantined points
+# ----------------------------------------------------------------------
+class FailedPoint:
+    """Stand-in result for a quarantined sweep cell.
+
+    Every (non-dunder) attribute reads as ``nan``, so table builders
+    written against :class:`CostReport` render a degraded cell instead
+    of crashing; aggregation code skips it via ``isinstance`` checks.
+    Failed points are never written to the point cache — a rerun
+    retries them from scratch.
+    """
+
+    def __init__(self, point: SweepPoint, error: Any, attempts: int) -> None:
+        self.point = point
+        self.error = error
+        self.attempts = attempts
+
+    def __getattr__(self, name: str) -> float:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return float("nan")
+
+    def __repr__(self) -> str:
+        return "FailedPoint(%s, attempts=%d, error=%r)" % (
+            point_label(self.point),
+            self.attempts,
+            str(self.error),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -263,6 +486,7 @@ def execute_point(
     point: SweepPoint, db_cache: Optional[DatabaseCache] = None
 ) -> Dict[str, Any]:
     """Measure one point, returning a JSON-able result payload."""
+    _fault.hit("point.poison")
     if point.kind == "deep":
         return {"kind": "deep", "avg_io": _execute_deep(point, db_cache)}
     return _report_to_payload(_execute_workload(point, db_cache))
@@ -273,7 +497,7 @@ def _execute_workload(
 ) -> CostReport:
     params = point.params
     if params is None:
-        raise ValueError("workload point without params: %r" % (point,))
+        raise PointFailed("workload point without params: %r" % (point,), point=point)
     strategy = make_strategy(point.strategy, **dict(point.strategy_kwargs))
     if db_cache is None:
         db_cache = DatabaseCache()
@@ -293,7 +517,9 @@ def _execute_workload(
         )
     if point.sequence == "mixed":
         if not point.mix_num_tops:
-            raise ValueError("mixed-sequence point without mix_num_tops")
+            raise PointFailed(
+                "mixed-sequence point without mix_num_tops", point=point
+            )
         sequence = generate_mixed_sequence(
             params,
             list(point.mix_num_tops),
@@ -338,7 +564,7 @@ def _execute_deep(point: SweepPoint, db_cache: Optional[DatabaseCache]) -> float
         "nodup": lambda db, query, meter: deep_bfs(db, query, meter, dedup=True),
     }
     if point.runner not in runners:
-        raise ValueError("unknown deep runner %r" % (point.runner,))
+        raise PointFailed("unknown deep runner %r" % (point.runner,), point=point)
     if db_cache is None:
         db_cache = DatabaseCache()
     base = point.deep_params
@@ -357,15 +583,94 @@ def _execute_deep(point: SweepPoint, db_cache: Optional[DatabaseCache]) -> float
 
 
 # ----------------------------------------------------------------------
+# retries, deadlines and recovery
+# ----------------------------------------------------------------------
+@contextmanager
+def _point_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`WorkerLost` if the body outlives ``seconds``.
+
+    Implemented with ``SIGALRM``, so it only engages on platforms that
+    have it and in the process's main thread; elsewhere it is a no-op
+    (pool runs still get the parent-side watchdog).
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _timed_out(signum: int, frame: Any) -> None:
+        raise WorkerLost("point exceeded its %.3gs deadline" % seconds)
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_with_recovery(
+    point: SweepPoint,
+    db_cache: DatabaseCache,
+    policy: RetryPolicy,
+    counters: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Run one point with the policy's retry/deadline budget.
+
+    Failures are retried with exponential backoff against a freshly
+    materialized database (the previous attempt may have left a
+    half-mutated clone; re-attaching is deterministic, so the retry's
+    measurement is identical to an undisturbed run).  Raises
+    :class:`PointFailed` once the budget is exhausted — or immediately
+    for malformed specs, which no retry can fix.
+    """
+    attempts = 0
+    while True:
+        try:
+            with _point_deadline(policy.point_timeout):
+                return execute_point(point, db_cache)
+        except PointFailed:
+            raise
+        except Exception as exc:  # KeyboardInterrupt/SystemExit pass through
+            attempts += 1
+            if isinstance(exc, WorkerLost):
+                counters["timeouts"] += 1
+            if attempts > policy.max_retries:
+                raise PointFailed(
+                    "point %s failed after %d attempt(s): %s"
+                    % (point_label(point), attempts, exc),
+                    point=point,
+                    attempts=attempts,
+                    cause=exc,
+                )
+            counters["retries"] += 1
+            db_cache.clear()
+            time.sleep(policy.backoff_seconds * (2 ** (attempts - 1)))
+
+
+# ----------------------------------------------------------------------
 # the sweep engine
 # ----------------------------------------------------------------------
 _WORKER_DB_CACHE: Optional[DatabaseCache] = None
+_WORKER_POLICY: RetryPolicy = DEFAULT_POLICY
 
 
-def _init_worker(store_root: Optional[str] = None) -> None:
-    global _WORKER_DB_CACHE
+def _init_worker(
+    store_root: Optional[str] = None,
+    plan: Optional["_fault.FaultPlan"] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> None:
+    global _WORKER_DB_CACHE, _WORKER_POLICY
+    _fault.mark_worker()
+    if plan is not None:
+        _fault.install(plan)
     store = SnapshotStore(store_root) if store_root else None
     _WORKER_DB_CACHE = DatabaseCache(max_entries=WORKER_DB_CACHE_SIZE, store=store)
+    _WORKER_POLICY = policy or RetryPolicy()
 
 
 def _stats_delta(
@@ -375,15 +680,50 @@ def _stats_delta(
     return {key: after[key] - before.get(key, 0) for key in after}
 
 
+def _injection_delta(
+    after: Dict[str, int], before: Dict[str, int]
+) -> Dict[str, int]:
+    return {
+        site: after[site] - before.get(site, 0)
+        for site in after
+        if after[site] - before.get(site, 0)
+    }
+
+
 def _run_task(
     task: Tuple[int, SweepPoint]
-) -> Tuple[int, Dict[str, Any], Dict[str, Any]]:
+) -> Tuple[int, Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
+    """Worker-side execution of one point (with worker-side retries).
+
+    Returns ``(index, payload, db_stats_delta, task_counters)``.  A
+    point that exhausts its retries comes back as a ``kind="failed"``
+    payload rather than an exception, so its database-cache telemetry
+    still reaches the parent.  The ``worker.crash``/``worker.hang``
+    sites fire here — before any measurement — to exercise the parent's
+    pool-recovery machinery.
+    """
     index, point = task
-    cache = _WORKER_DB_CACHE
-    before = cache.stats_snapshot() if cache is not None else {}
-    payload = execute_point(point, cache)
-    after = cache.stats_snapshot() if cache is not None else {}
-    return index, payload, _stats_delta(after, before)
+    _fault.hit("worker.crash")
+    _fault.hit("worker.hang")
+    cache = _WORKER_DB_CACHE if _WORKER_DB_CACHE is not None else DatabaseCache()
+    task_counters: Dict[str, Any] = {"retries": 0, "timeouts": 0}
+    plan = _fault.active()
+    injections_before = dict(plan.injections) if plan is not None else {}
+    before = cache.stats_snapshot()
+    try:
+        payload = _execute_with_recovery(point, cache, _WORKER_POLICY, task_counters)
+    except PointFailed as exc:
+        payload = {
+            "kind": "failed",
+            "error": str(exc.cause or exc),
+            "attempts": exc.attempts,
+        }
+    after = cache.stats_snapshot()
+    if plan is not None:
+        task_counters["injections"] = _injection_delta(
+            plan.injections, injections_before
+        )
+    return index, payload, _stats_delta(after, before), task_counters
 
 
 def _dispatch_key(point: SweepPoint) -> Tuple:
@@ -405,6 +745,7 @@ def run_sweep(
     points: Sequence[SweepPoint],
     jobs: int = 1,
     cache: Optional[PointCache] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[Any]:
     """Measure every point; results come back in input order.
 
@@ -412,9 +753,25 @@ def run_sweep(
     :class:`DatabaseCache` (the default, and what the tests exercise).
     ``jobs>1`` fans uncached points out over a worker pool.  With a
     ``cache``, previously finished points are answered from disk and
-    only the remainder is computed (then stored).
+    only the remainder is computed (each stored atomically the moment it
+    completes).  ``policy`` (default :data:`DEFAULT_POLICY`) budgets
+    retries, per-point deadlines and pool restarts; a point that
+    exhausts the budget yields a :class:`FailedPoint` in its slot and
+    the sweep continues.
     """
+    policy = policy or DEFAULT_POLICY
     t_start = time.perf_counter()
+    counters: Dict[str, Any] = {
+        "retries": 0,
+        "timeouts": 0,
+        "pool_restarts": 0,
+        "downgrades": 0,
+        "quarantined": [],
+    }
+    plan = _fault.active()
+    injections_before = dict(plan.injections) if plan is not None else {}
+    cache_before = cache.stats_snapshot() if cache is not None else {}
+
     results: List[Any] = [None] * len(points)
     keys: List[Optional[str]] = [None] * len(points)
     pending: List[int] = []
@@ -431,19 +788,42 @@ def run_sweep(
     hits = len(points) - len(pending)
     db_stats: Dict[str, Any] = {}
     if pending:
-        if jobs > 1 and len(pending) > 1:
-            db_stats = _run_parallel(points, pending, keys, results, cache, jobs)
-        else:
-            db_cache = DatabaseCache(store=_db_store())
-            before = db_cache.stats_snapshot()
-            for i in pending:
-                payload = execute_point(points[i], db_cache)
-                if cache is not None and keys[i] is not None:
-                    cache.put(keys[i], payload)
-                results[i] = _payload_to_result(payload)
-            # Delta, not totals: the store singleton's counters span
-            # every run_sweep call in this process.
-            db_stats = _stats_delta(db_cache.stats_snapshot(), before)
+        try:
+            if jobs > 1 and len(pending) > 1:
+                db_stats = _run_parallel(
+                    points, pending, keys, results, cache, jobs, policy, counters
+                )
+            else:
+                db_stats = _run_serial(
+                    points, pending, keys, results, cache, policy, counters
+                )
+        except KeyboardInterrupt:
+            completed = sum(1 for result in results if result is not None)
+            raise SweepInterrupted(completed, len(points)) from None
+
+    injections = _injection_delta(
+        plan.injections if plan is not None else {}, injections_before
+    )
+    for site, count in counters.pop("worker_injections", {}).items():
+        injections[site] = injections.get(site, 0) + count
+    cache_stats = (
+        _stats_delta(cache.stats_snapshot(), cache_before)
+        if cache is not None
+        else {}
+    )
+    faults = {
+        "injections": injections,
+        "retries": counters["retries"],
+        "timeouts": counters["timeouts"],
+        "pool_restarts": counters["pool_restarts"],
+        "downgrades": counters["downgrades"]
+        + db_stats.get("downgrades", 0)
+        + cache_stats.get("downgrades", 0),
+        "cache_corrupt": cache_stats.get("corrupt", 0)
+        + db_stats.get("corrupt", 0),
+        "quarantined": list(counters["quarantined"]),
+    }
+    _record_fault_metrics(faults)
 
     entry = {
         "points": len(points),
@@ -452,17 +832,64 @@ def run_sweep(
         "jobs": jobs,
         "seconds": time.perf_counter() - t_start,
         "db": db_stats,
+        "faults": faults,
     }
     entry.update(_aggregate_reports(results))
     SWEEP_LOG.append(entry)
     return results
 
 
+def _record_fault_metrics(faults: Dict[str, Any]) -> None:
+    """Mirror one sweep's fault/recovery counters into the obs registry."""
+    from repro.obs import registry
+
+    reg = registry()
+    for site, count in faults["injections"].items():
+        reg.inc("fault.injections", count, site=site)
+    for name in ("retries", "timeouts", "pool_restarts", "downgrades",
+                 "cache_corrupt"):
+        if faults[name]:
+            reg.inc("fault.%s" % name, faults[name])
+    if faults["quarantined"]:
+        reg.inc("fault.quarantined", len(faults["quarantined"]))
+
+
+def _run_serial(
+    points: Sequence[SweepPoint],
+    pending: Sequence[int],
+    keys: List[Optional[str]],
+    results: List[Any],
+    cache: Optional[PointCache],
+    policy: RetryPolicy,
+    counters: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Execute ``pending`` in-process, checkpointing after every point."""
+    db_cache = DatabaseCache(store=_db_store())
+    before = db_cache.stats_snapshot()
+    for i in pending:
+        # The ``sweep.kill`` site SIGKILLs the process here — *between*
+        # points — so every completed point is already checkpointed.
+        _fault.hit("sweep.kill")
+        try:
+            payload = _execute_with_recovery(points[i], db_cache, policy, counters)
+        except PointFailed as exc:
+            results[i] = FailedPoint(points[i], exc.cause or exc, exc.attempts)
+            counters["quarantined"].append(point_label(points[i]))
+            continue
+        if cache is not None and keys[i] is not None:
+            cache.put(keys[i], payload)
+        results[i] = _payload_to_result(payload)
+    # Delta, not totals: the store singleton's counters span every
+    # run_sweep call in this process.
+    return _stats_delta(db_cache.stats_snapshot(), before)
+
+
 def _aggregate_reports(results: Sequence[Any]) -> Dict[str, Any]:
     """Sweep-level buffer-pool and I/O totals over the CostReport rows.
 
-    Deep points contribute nothing (their result is a bare float); the
-    buffer counters come from each report's :class:`PoolStats` delta, so
+    Deep points contribute nothing (their result is a bare float), and
+    neither do quarantined :class:`FailedPoint` cells; the buffer
+    counters come from each report's :class:`PoolStats` delta, so
     cached and freshly executed points aggregate identically.
     """
     buffer = {"hits": 0, "misses": 0, "evictions": 0, "dirty_evictions": 0}
@@ -489,26 +916,191 @@ def _run_parallel(
     results: List[Any],
     cache: Optional[PointCache],
     jobs: int,
+    policy: RetryPolicy,
+    counters: Dict[str, Any],
 ) -> Dict[str, Any]:
-    import multiprocessing as mp
+    """Fan ``pending`` out over a worker pool, surviving worker loss.
 
-    # Group same-database points into contiguous chunks so a worker's
-    # local DatabaseCache gets reuse instead of rebuilding per point.
-    order = sorted(pending, key=lambda i: _dispatch_key(points[i]))
-    chunksize = max(1, min(8, (len(order) + jobs * 4 - 1) // (jobs * 4)))
+    Workers run points (with worker-side retries) and stream results
+    back; the parent is the watchdog.  A crashed worker breaks the
+    whole executor (``BrokenProcessPool``), so the pool is rebuilt and
+    unfinished points re-dispatched; a worker that hangs past
+    ``policy.point_timeout`` is detected by deadline, its pool is torn
+    down the same way, and the hung point is charged an attempt.  After
+    ``policy.max_pool_restarts`` rebuilds the sweep stops trusting
+    process pools and finishes the remainder serially (a logged
+    downgrade, never an abort).
+    """
+    import multiprocessing as mp
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
     method = "fork" if "fork" in mp.get_all_start_methods() else None
     context = mp.get_context(method)
+    # Group same-database points contiguously so a worker's local
+    # DatabaseCache gets reuse instead of rebuilding per point.
+    order = sorted(pending, key=lambda i: _dispatch_key(points[i]))
+    todo: "deque[int]" = deque(order)
+    attempts: Dict[int, int] = {i: 0 for i in order}
     db_stats: Dict[str, Any] = {}
-    with context.Pool(
-        processes=jobs, initializer=_init_worker, initargs=(DB_STORE_ROOT,)
-    ) as pool:
-        tasks = [(i, points[i]) for i in order]
-        for index, payload, delta in pool.imap_unordered(_run_task, tasks, chunksize):
-            if cache is not None and keys[index] is not None:
-                cache.put(keys[index], payload)
-            results[index] = _payload_to_result(payload)
-            for key, value in delta.items():
+    worker_injections: Dict[str, int] = {}
+    restarts = 0
+    plan = _fault.active()
+
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(DB_STORE_ROOT, plan, policy),
+        )
+
+    def shutdown_hard(pool: ProcessPoolExecutor) -> None:
+        processes = list(getattr(pool, "_processes", {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - pre-3.9 signature
+            pool.shutdown(wait=False)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(1.0)
+
+    def finish(index: int, payload: Dict[str, Any], delta: Dict[str, Any],
+               task_counters: Dict[str, Any]) -> None:
+        for key, value in delta.items():
+            db_stats[key] = db_stats.get(key, 0) + value
+        counters["retries"] += task_counters.get("retries", 0)
+        counters["timeouts"] += task_counters.get("timeouts", 0)
+        for site, count in task_counters.get("injections", {}).items():
+            worker_injections[site] = worker_injections.get(site, 0) + count
+        if payload.get("kind") == "failed":
+            results[index] = FailedPoint(
+                points[index], payload["error"], payload["attempts"]
+            )
+            counters["quarantined"].append(point_label(points[index]))
+            return
+        if cache is not None and keys[index] is not None:
+            cache.put(keys[index], payload)
+        results[index] = _payload_to_result(payload)
+
+    def charge_attempt(index: int, error: BaseException) -> None:
+        """One failed parent-side attempt for ``index`` (requeue or give up)."""
+        attempts[index] += 1
+        if attempts[index] > policy.max_retries:
+            results[index] = FailedPoint(points[index], error, attempts[index])
+            counters["quarantined"].append(point_label(points[index]))
+        else:
+            counters["retries"] += 1
+            todo.append(index)
+
+    executor = make_executor()
+    running: Dict[Any, Tuple[int, float]] = {}
+    try:
+        try:
+            while todo or running:
+                # Submit at most one task per worker, so a future's age
+                # approximates its execution time (deadline accuracy).
+                broken = False
+                while todo and len(running) < jobs:
+                    i = todo.popleft()
+                    try:
+                        future = executor.submit(_run_task, (i, points[i]))
+                    except BrokenProcessPool:
+                        todo.appendleft(i)
+                        broken = True
+                        break
+                    running[future] = (i, time.monotonic())
+                if not broken and running:
+                    done, _ = wait(
+                        set(running), timeout=0.2, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index, _t0 = running.pop(future)
+                        try:
+                            _, payload, delta, task_counters = future.result()
+                        except BrokenProcessPool:
+                            # The worker died; innocents die with it.
+                            # Re-dispatch without charging an attempt —
+                            # the restart budget bounds crash loops.
+                            todo.appendleft(index)
+                            broken = True
+                        except Exception as exc:
+                            charge_attempt(index, exc)
+                        else:
+                            finish(index, payload, delta, task_counters)
+                if broken:
+                    for future, (index, _t0) in running.items():
+                        todo.appendleft(index)
+                    running.clear()
+                    restarts += 1
+                    counters["pool_restarts"] += 1
+                    shutdown_hard(executor)
+                    if restarts > policy.max_pool_restarts:
+                        raise WorkerLost(
+                            "worker pool failed %d times" % restarts
+                        )
+                    executor = make_executor()
+                    continue
+                if policy.point_timeout and running:
+                    now = time.monotonic()
+                    hung = [
+                        (future, index)
+                        for future, (index, t0) in running.items()
+                        if now - t0 > policy.point_timeout
+                    ]
+                    if hung:
+                        hung_futures = {future for future, _ in hung}
+                        for future, index in hung:
+                            counters["timeouts"] += 1
+                            charge_attempt(
+                                index,
+                                WorkerLost(
+                                    "worker exceeded the %.3gs point deadline"
+                                    % policy.point_timeout
+                                ),
+                            )
+                        for future, (index, _t0) in running.items():
+                            if future not in hung_futures:
+                                todo.appendleft(index)
+                        running.clear()
+                        restarts += 1
+                        counters["pool_restarts"] += 1
+                        shutdown_hard(executor)
+                        if restarts > policy.max_pool_restarts:
+                            raise WorkerLost(
+                                "worker pool failed %d times" % restarts
+                            )
+                        executor = make_executor()
+        except KeyboardInterrupt:
+            # Flush whatever already finished so those points stay
+            # checkpointed, then terminate the workers and let
+            # run_sweep translate this into SweepInterrupted.
+            for future, (index, _t0) in list(running.items()):
+                if future.done():
+                    try:
+                        _, payload, delta, task_counters = future.result()
+                    except BaseException:
+                        continue
+                    finish(index, payload, delta, task_counters)
+            raise
+        except WorkerLost as exc:
+            # Graceful degradation: stop trusting process pools and
+            # finish the remainder serially in this process.
+            counters["downgrades"] += 1
+            sys.stderr.write(
+                "repro: %s; finishing the sweep serially without a pool\n" % exc
+            )
+            remaining = [i for i in order if results[i] is None]
+            serial_stats = _run_serial(
+                points, remaining, keys, results, cache, policy, counters
+            )
+            for key, value in serial_stats.items():
                 db_stats[key] = db_stats.get(key, 0) + value
+    finally:
+        shutdown_hard(executor)
+    counters["worker_injections"] = worker_injections
     return db_stats
 
 
@@ -516,6 +1108,7 @@ def run_sweep_reports(
     points: Sequence[SweepPoint],
     jobs: int = 1,
     cache: Optional[PointCache] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[CostReport]:
     """:func:`run_sweep` for all-workload grids, typed as cost reports."""
-    return run_sweep(points, jobs=jobs, cache=cache)
+    return run_sweep(points, jobs=jobs, cache=cache, policy=policy)

@@ -101,6 +101,68 @@ def _sum_nested(sweeps: List[dict], field: str) -> dict:
     return totals
 
 
+def _sum_faults(entries: List[dict]) -> dict:
+    """Aggregate the fault/recovery counters of sweep-log entries.
+
+    Scalar counters sum, per-site injection counts sum key-wise, and
+    quarantined cell labels concatenate (order preserved, so the report
+    footer lists degraded cells in sweep order).
+    """
+    totals: dict = {
+        "injections": {},
+        "retries": 0,
+        "timeouts": 0,
+        "pool_restarts": 0,
+        "downgrades": 0,
+        "cache_corrupt": 0,
+        "quarantined": [],
+    }
+    for entry in entries:
+        faults = entry.get("faults", {})
+        for site, count in faults.get("injections", {}).items():
+            totals["injections"][site] = totals["injections"].get(site, 0) + count
+        for name in ("retries", "timeouts", "pool_restarts", "downgrades",
+                     "cache_corrupt"):
+            totals[name] += faults.get(name, 0)
+        totals["quarantined"] += faults.get("quarantined", [])
+    return totals
+
+
+def _fault_lines(faults: dict) -> List[str]:
+    """Human-readable footer lines for non-trivial fault activity."""
+    lines: List[str] = []
+    injected = sum(faults["injections"].values())
+    recovery = {
+        name: faults[name]
+        for name in ("retries", "timeouts", "pool_restarts", "downgrades",
+                     "cache_corrupt")
+        if faults[name]
+    }
+    if injected or recovery:
+        parts = []
+        if injected:
+            parts.append(
+                "%d fault(s) injected (%s)"
+                % (
+                    injected,
+                    ", ".join(
+                        "%s=%d" % (site, count)
+                        for site, count in sorted(faults["injections"].items())
+                        if count
+                    ),
+                )
+            )
+        parts += ["%s %d" % (name.replace("_", " "), value)
+                  for name, value in sorted(recovery.items())]
+        lines.append("[faults: %s]" % "; ".join(parts))
+    if faults["quarantined"]:
+        lines.append(
+            "[degraded cells (quarantined after retry exhaustion): %s]"
+            % ", ".join(faults["quarantined"])
+        )
+    return lines
+
+
 def _round_floats(counters: dict, digits: int = 3) -> dict:
     return {
         key: (round(value, digits) if isinstance(value, float) else value)
@@ -145,22 +207,40 @@ def main(argv=None) -> int:
         default="BENCH_sweeps.json",
         help="telemetry JSON path ('' disables)",
     )
+    parser.add_argument(
+        "--max-retries",
+        dest="max_retries",
+        type=int,
+        default=None,
+        help="per-point retry budget before a cell is quarantined (default 2)",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        dest="point_timeout",
+        type=float,
+        default=None,
+        help="seconds one point may run before it counts as a failed attempt",
+    )
     args = parser.parse_args(argv)
     os.makedirs(args.out, exist_ok=True)
 
+    pool.configure_retry_policy(
+        max_retries=args.max_retries, point_timeout=args.point_timeout
+    )
     pool.configure_db_store(
         None
         if args.no_db_cache
         else os.path.join(args.out, pool.DB_CACHE_DIRNAME)
     )
+    point_cache = (
+        None
+        if args.no_point_cache
+        else PointCache(os.path.join(args.out, ".pointcache"))
+    )
     suite = experiment_suite(
         args.scale,
         jobs=args.jobs,
-        point_cache=(
-            None
-            if args.no_point_cache
-            else PointCache(os.path.join(args.out, ".pointcache"))
-        ),
+        point_cache=point_cache,
     )
     names = [name for name, _ in suite]
     if args.only:
@@ -184,6 +264,7 @@ def main(argv=None) -> int:
         buffer = _sum_nested(sweeps, "buffer")
         io = _sum_nested(sweeps, "io")
         db = _round_floats(_sum_nested(sweeps, "db"))
+        faults = _sum_faults(sweeps)
         telemetry.append(
             {
                 "name": name,
@@ -194,6 +275,7 @@ def main(argv=None) -> int:
                 "buffer": buffer,
                 "io": io,
                 "db": db,
+                "faults": faults,
             }
         )
         text = annotate(name, result)
@@ -210,6 +292,8 @@ def main(argv=None) -> int:
                     buffer.get("dirty_evictions", 0),
                 )
             )
+        for line in _fault_lines(faults):
+            text += "\n" + line
         print(text)
         print()
         with open(os.path.join(args.out, "%s.txt" % name), "w") as handle:
@@ -222,12 +306,16 @@ def main(argv=None) -> int:
         db_totals = _round_floats(_sum_nested(telemetry, "db"))
         store = pool._db_store()
         bench = {
-            "schema": 2,
+            "schema": 3,
             "scale": args.scale,
             "jobs": args.jobs,
             "point_cache": not args.no_point_cache,
+            "point_cache_stats": (
+                point_cache.stats_snapshot() if point_cache else {}
+            ),
             "db_cache": not args.no_db_cache,
             "db": db_totals,
+            "faults": _sum_faults(telemetry),
             "db_bytes_on_disk": store.bytes_on_disk() if store else 0,
             "cpu_count": os.cpu_count(),
             "python": "%d.%d.%d" % sys.version_info[:3],
@@ -242,4 +330,17 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry
-    sys.exit(main())
+    from repro.errors import SweepInterrupted
+
+    try:
+        sys.exit(main())
+    except SweepInterrupted as exc:
+        sys.stderr.write(
+            "\ninterrupted: %d/%d sweep point(s) completed and "
+            "checkpointed — rerun the same command to resume.\n"
+            % (exc.completed, exc.total)
+        )
+        sys.exit(130)
+    except KeyboardInterrupt:
+        sys.stderr.write("\ninterrupted.\n")
+        sys.exit(130)

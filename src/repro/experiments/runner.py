@@ -22,12 +22,14 @@ cache, buffer pool and counters between runs.
 from __future__ import annotations
 
 import hashlib
+import sys
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.strategies.base import make_strategy
+from repro.errors import FaultInjected
 from repro.storage.snapshot import Snapshot, SnapshotStore
 from repro.util.fmt import format_table
 from repro.workload.driver import CostReport, run_sequence
@@ -124,12 +126,21 @@ class DatabaseCache:
     every database it ever built.  Rebuilding an evicted database is
     fully deterministic, so a bound never changes measured results.
 
-    With a :class:`~repro.storage.snapshot.SnapshotStore`, a cache miss
-    first consults the store: a stored snapshot is *attached* (a
-    copy-on-write clone, milliseconds) instead of rebuilt (seconds), and
-    a fresh build is frozen into the store for every later worker and
-    report run.  The cached entry is always the mutable clone, so reuse
-    semantics across points are identical with and without a store.
+    Without a store, the cache holds live databases and later points
+    *reuse* them, mutations and all (the driver's reset contract keeps
+    measured costs identical either way).
+
+    With a :class:`~repro.storage.snapshot.SnapshotStore`, the cache
+    operates in *snapshot mode*: it holds immutable
+    :class:`~repro.storage.snapshot.Snapshot` templates and every
+    :meth:`get` attaches a **fresh copy-on-write clone** (milliseconds).
+    Each point then executes against pristine state, so a measurement —
+    including its full traced event stream — is independent of which
+    points ran before it, in this process or any worker.  That history
+    independence is what makes fault recovery exact: a retried, killed
+    or re-dispatched point replays bit-identically.  A store read or
+    write failure degrades *persistence* only (snapshots stay in the
+    in-process LRU); snapshot mode itself is never lost mid-sweep.
     """
 
     #: Parameters that change the stored data (anything else can vary
@@ -154,13 +165,20 @@ class DatabaseCache:
         max_entries: Optional[int] = None,
         store: Optional[SnapshotStore] = None,
     ) -> None:
+        #: Live databases (classic mode) or Snapshot templates
+        #: (snapshot mode), LRU-bounded by ``max_entries`` either way.
         self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
         self.max_entries = max_entries
         self.store = store
+        #: Fixed at construction: a store request puts the cache in
+        #: snapshot mode for its whole lifetime, even if the store
+        #: itself is later dropped by :meth:`_degrade`.
+        self.snapshot_mode = store is not None
         self.builds = 0
         self.attaches = 0
         self.build_seconds = 0.0
         self.attach_seconds = 0.0
+        self.downgrades = 0
 
     def shape_key(
         self,
@@ -180,62 +198,94 @@ class DatabaseCache:
         procedural: bool = False,
     ):
         key = self.shape_key(params, clustering, cache, procedural)
-        db = self._cache.get(key)
-        if db is None:
-            db = self._materialize(
-                key,
-                lambda: build_database(
-                    params, clustering=clustering, cache=cache, procedural=procedural
-                ),
-            )
-            self._cache[key] = db
-            self._evict_over_bound()
-        elif self.max_entries is not None:
-            self._cache.move_to_end(key)
-        return db
+        return self._materialize(
+            key,
+            lambda: build_database(
+                params, clustering=clustering, cache=cache, procedural=procedural
+            ),
+        )
 
     def get_deep(self, params):
         """Build/reuse a deep-hierarchy database for ``DeepParams``."""
         from repro.workload.deepgen import build_deep_database
 
         key = ("deep", params)
-        db = self._cache.get(key)
-        if db is None:
-            db = self._materialize(key, lambda: build_deep_database(params))
-            self._cache[key] = db
+        return self._materialize(key, lambda: build_deep_database(params))
+
+    def _materialize(self, key: Tuple, build) -> Any:
+        """A runnable database for ``key``.
+
+        Classic mode reuses the cached live database (building on a
+        miss).  Snapshot mode looks up the cached (or stored) immutable
+        template — freezing a fresh build on a miss — and always attaches
+        a new pristine clone, so every caller gets history-independent
+        state.
+        """
+        if not self.snapshot_mode:
+            db = self._cache.get(key)
+            if db is None:
+                t0 = time.perf_counter()
+                db = build()
+                self.builds += 1
+                self.build_seconds += time.perf_counter() - t0
+                self._cache[key] = db
+                self._evict_over_bound()
+            elif self.max_entries is not None:
+                self._cache.move_to_end(key)
+            return db
+        snapshot = self._cache.get(key)
+        if snapshot is None:
+            snapshot = self._obtain_snapshot(key, build)
+            self._cache[key] = snapshot
             self._evict_over_bound()
         elif self.max_entries is not None:
             self._cache.move_to_end(key)
-        return db
-
-    def _materialize(self, key: Tuple, build) -> Any:
-        """A runnable database for ``key``: attach from the store or build.
-
-        Without a store this is a plain timed build.  With one, a stored
-        snapshot is attached; a miss builds, freezes the build into the
-        store, and attaches a clone of it — so the measured run always
-        executes against a snapshot clone, making warm and cold runs go
-        through one code path (their trace digests must be identical).
-        """
-        if self.store is None:
-            t0 = time.perf_counter()
-            db = build()
-            self.builds += 1
-            self.build_seconds += time.perf_counter() - t0
-            return db
-        store_key = self.snapshot_key(key)
-        snapshot = self.store.get(store_key)
-        if snapshot is None:
-            t0 = time.perf_counter()
-            snapshot = Snapshot.freeze(build())
-            self.builds += 1
-            self.build_seconds += time.perf_counter() - t0
-            self.store.put(store_key, snapshot)
         t0 = time.perf_counter()
         clone = snapshot.attach()
         self.attaches += 1
         self.attach_seconds += time.perf_counter() - t0
         return clone
+
+    def _obtain_snapshot(self, key: Tuple, build) -> Snapshot:
+        """The immutable template for ``key``: from the store, or built.
+
+        A store failure on either path degrades persistence and falls
+        back to a local deterministic build; it never aborts the sweep.
+        """
+        store_key = self.snapshot_key(key)
+        snapshot = None
+        if self.store is not None:
+            try:
+                snapshot = self.store.get(store_key)
+            except (OSError, FaultInjected) as exc:
+                self._degrade(exc)
+        if snapshot is None:
+            t0 = time.perf_counter()
+            snapshot = Snapshot.freeze(build())
+            self.builds += 1
+            self.build_seconds += time.perf_counter() - t0
+            if self.store is not None:
+                try:
+                    self.store.put(store_key, snapshot)
+                except (OSError, FaultInjected) as exc:
+                    self._degrade(exc)
+        return snapshot
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Drop the persistent store after a store fault.
+
+        Persistence is lost; snapshot mode is not.  Templates stay in
+        this cache's own LRU, every point still attaches a pristine
+        clone, and measurements continue bit-identically — a store that
+        cannot be read or written must never sink (or skew) a sweep.
+        """
+        self.store = None
+        self.downgrades += 1
+        sys.stderr.write(
+            "repro: snapshot store unavailable (%s: %s); "
+            "continuing without the persistent database cache\n"
+            % (type(exc).__name__, exc)
+        )
 
     @staticmethod
     def snapshot_key(key: Tuple) -> str:
@@ -250,6 +300,7 @@ class DatabaseCache:
             "attaches": self.attaches,
             "build_seconds": self.build_seconds,
             "attach_seconds": self.attach_seconds,
+            "downgrades": self.downgrades,
         }
         if self.store is not None:
             stats.update(self.store.stats)

@@ -1,0 +1,36 @@
+"""Fault injection and crash-safe recovery (see :mod:`repro.fault.plan`).
+
+The public surface:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a deterministic, seeded
+  fault schedule, addressable by site;
+* :func:`install` / :func:`clear` / :func:`active` — process-wide
+  activation (injection is off, and free, until installed);
+* :func:`parse_faults` — the CLI's ``site=rate[xCOUNT][@AFTER]`` syntax;
+* :mod:`repro.fault.chaos` — the ``repro chaos`` machinery: run a sweep
+  under faults and prove the recovered results are bit-identical.
+"""
+
+from repro.fault.plan import (
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    active,
+    clear,
+    default_chaos_specs,
+    default_warm_specs,
+    install,
+    parse_faults,
+)
+
+__all__ = [
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "clear",
+    "default_chaos_specs",
+    "default_warm_specs",
+    "install",
+    "parse_faults",
+]

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.errors import ReproError
 from repro.obs.registry import MetricsRegistry
 
 #: The page kinds a relation name maps onto.
@@ -125,8 +126,14 @@ class TraceEvent:
         )
 
 
-class TraceValidationError(AssertionError):
-    """Traced totals disagree with the driver's reported costs."""
+class TraceValidationError(ReproError, AssertionError):
+    """Traced totals disagree with the driver's reported costs.
+
+    Part of the :class:`~repro.errors.ReproError` hierarchy (it keeps
+    ``AssertionError`` as a base for backward compatibility): a traced
+    sweep point that fails validation is retried and, if persistent,
+    quarantined like any other point failure.
+    """
 
 
 # ----------------------------------------------------------------------

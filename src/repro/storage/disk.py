@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import FileNotFoundError_, PageNotFoundError
+from repro.fault import plan as _fault
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page, PageId
 
 
@@ -136,7 +137,18 @@ class DiskManager:
         return page
 
     def read_page(self, page_id: PageId) -> Page:
-        """Fetch a page, counting one read."""
+        """Fetch a page, counting one read.
+
+        Under an active fault plan a read may raise
+        :class:`~repro.errors.FaultInjected` — either a transient I/O
+        error (``disk.read``) or a detected torn/corrupt page
+        (``disk.torn``, the simulator's stand-in for a page-checksum
+        failure).  Nothing is charged or mutated when that happens; the
+        sweep layer retries the whole point.
+        """
+        if _fault._PLAN is not None:
+            _fault.hit("disk.read")
+            _fault.hit("disk.torn")
         page = self._get(page_id)
         self.reads += 1
         self._file_reads[page_id.file_id] += 1
@@ -145,7 +157,13 @@ class DiskManager:
         return page
 
     def write_page(self, page: Page) -> None:
-        """Persist a page, counting one write."""
+        """Persist a page, counting one write.
+
+        May raise :class:`~repro.errors.FaultInjected` (``disk.write``)
+        under an active fault plan, before any accounting happens.
+        """
+        if _fault._PLAN is not None:
+            _fault.hit("disk.write")
         # The page object *is* the stored page (in-memory simulation), so
         # there is nothing to copy; only the accounting matters.
         self._require_file(page.page_id.file_id)

@@ -34,11 +34,15 @@ sharing exists only because the simulator's "disk" holds live objects.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import pickle
 import tempfile
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CacheCorrupt
+from repro.fault import plan as _fault
 
 
 class Snapshot:
@@ -98,9 +102,36 @@ class SnapshotStore:
     (atomic on POSIX), and builds are deterministic, so workers racing
     on one key write identical bytes — last writer wins harmlessly and
     readers never see a torn file.
+
+    Crash safety: every stored blob is framed as ``magic + sha256 +
+    pickle`` and verified on load.  A truncated, torn or bit-flipped
+    file fails verification, is *quarantined* (renamed ``*.corrupt``,
+    so the evidence survives for inspection) and counts as a miss — the
+    caller rebuilds deterministically and overwrites it.
     """
 
     FILE_PREFIX = "db-"
+
+    #: Framing of a stored snapshot: magic, 64 hex digest chars, payload.
+    MAGIC = b"RSNAP1\n"
+    _DIGEST_LEN = 64
+
+    @classmethod
+    def _frame(cls, payload: bytes) -> bytes:
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        return cls.MAGIC + digest + b"\n" + payload
+
+    @classmethod
+    def _unframe(cls, blob: bytes) -> bytes:
+        """The verified payload of ``blob``; raises :class:`CacheCorrupt`."""
+        header_len = len(cls.MAGIC) + cls._DIGEST_LEN + 1
+        if len(blob) < header_len or not blob.startswith(cls.MAGIC):
+            raise CacheCorrupt("missing or truncated snapshot header")
+        digest = blob[len(cls.MAGIC):header_len - 1]
+        payload = blob[header_len:]
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            raise CacheCorrupt("snapshot checksum mismatch")
+        return payload
 
     def __init__(
         self,
@@ -121,6 +152,7 @@ class SnapshotStore:
             "disk_hits": 0,
             "misses": 0,
             "puts": 0,
+            "corrupt": 0,
         }
 
     def _path(self, key: str) -> str:
@@ -129,21 +161,32 @@ class SnapshotStore:
         )
 
     def get(self, key: str) -> Optional[Snapshot]:
-        """The snapshot for ``key``, or None (memory first, then disk)."""
+        """The snapshot for ``key``, or None (memory first, then disk).
+
+        A stored file that fails checksum verification — torn write,
+        bit rot, or an injected ``snapshot.load`` fault — is quarantined
+        and reported as a miss; corruption is never an error here.
+        """
         snapshot = self._memory.get(key)
         if snapshot is not None:
             self._memory.move_to_end(key)
             self.stats["memory_hits"] += 1
             return snapshot
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
-                snapshot = Snapshot.from_bytes(handle.read())
+            with open(path, "rb") as handle:
+                blob = handle.read()
         except FileNotFoundError:
             self.stats["misses"] += 1
             return None
+        blob = _fault.corrupt_bytes("snapshot.load", blob)
+        try:
+            snapshot = Snapshot.from_bytes(self._unframe(blob))
         except Exception:
-            # A corrupt or unreadable pickle is a miss, never an error:
-            # the caller rebuilds deterministically and overwrites it.
+            # Checksum mismatch, truncated header, or an unpicklable
+            # payload: quarantine the file and treat it as a miss — the
+            # caller rebuilds deterministically and overwrites it.
+            self._quarantine(path)
             self.stats["misses"] += 1
             return None
         self._remember(key, snapshot)
@@ -151,14 +194,21 @@ class SnapshotStore:
         return snapshot
 
     def put(self, key: str, snapshot: Snapshot) -> None:
-        """Persist ``snapshot`` under ``key`` (atomic replace)."""
+        """Persist ``snapshot`` under ``key`` (checksummed atomic replace).
+
+        May raise :class:`~repro.errors.FaultInjected` (``snapshot.save``
+        site) or ``OSError``; callers degrade to store-less operation.
+        """
+        _fault.hit("snapshot.save")
         self._remember(key, snapshot)
         os.makedirs(self.root, exist_ok=True)
-        blob = snapshot.to_bytes()
+        blob = self._frame(snapshot.to_bytes())
         fd, tmp_path = tempfile.mkstemp(dir=self.root, prefix=".tmp-db-")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, self._path(key))
         except BaseException:
             try:
@@ -167,6 +217,17 @@ class SnapshotStore:
                 pass
             raise
         self.stats["puts"] += 1
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt file aside (``*.corrupt``) so reloads miss it."""
+        self.stats["corrupt"] += 1
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _remember(self, key: str, snapshot: Snapshot) -> None:
         self._memory[key] = snapshot
@@ -190,7 +251,7 @@ class SnapshotStore:
             return out
         for name in names:
             if not (name.startswith(self.FILE_PREFIX) and name.endswith(".pkl")):
-                continue
+                continue  # skips quarantined *.corrupt files too
             path = os.path.join(self.root, name)
             try:
                 info = os.stat(path)
@@ -203,9 +264,16 @@ class SnapshotStore:
         return sum(size for _, size, _ in self.entries())
 
     def clear(self) -> int:
-        """Delete every stored snapshot file; return how many."""
+        """Delete every stored (and quarantined) file; return how many."""
         removed = 0
-        for name, _, _ in self.entries():
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            is_stored = name.startswith(self.FILE_PREFIX) and name.endswith(".pkl")
+            if not (is_stored or name.endswith(".corrupt")):
+                continue
             try:
                 os.unlink(os.path.join(self.root, name))
                 removed += 1

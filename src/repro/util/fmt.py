@@ -6,11 +6,20 @@ these helpers keep that output aligned and diff-friendly.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 
 def format_float(value: float, digits: int = 2) -> str:
-    """Render a float compactly: integers without a fraction part."""
+    """Render a float compactly: integers without a fraction part.
+
+    NaN (a quarantined sweep cell) renders as ``--`` so degraded tables
+    stay readable; infinities fall through to ``%f``'s ``inf``.
+    """
+    if math.isnan(value):
+        return "--"
+    if math.isinf(value):
+        return ("%." + str(digits) + "f") % value
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return ("%." + str(digits) + "f") % value

@@ -70,11 +70,21 @@ class TestDatabaseCacheWithStore:
         assert (warm.builds, warm.attaches) == (0, 1)
         assert warm.store.stats["disk_hits"] == 1
 
-    def test_in_memory_reuse_does_not_reattach(self, tiny_params, tmp_path):
+    def test_every_get_attaches_a_fresh_clone(self, tiny_params, tmp_path):
+        """Snapshot mode hands out pristine state per point.
+
+        History independence — no point ever sees another point's
+        mutations — is what makes retried/re-dispatched/resumed points
+        replay bit-identically under fault injection.
+        """
         cache = DatabaseCache(store=SnapshotStore(str(tmp_path)))
         first = cache.get(tiny_params)
-        assert cache.get(tiny_params) is first
-        assert cache.attaches == 1
+        second = cache.get(tiny_params)
+        assert second is not first
+        assert cache.attaches == 2
+        # ...but the expensive work happened exactly once.
+        assert cache.builds == 1
+        assert cache.store.stats["puts"] == 1
 
     def test_stats_snapshot_merges_store_counters(self, tiny_params, tmp_path):
         cache = DatabaseCache(store=SnapshotStore(str(tmp_path)))
@@ -123,10 +133,11 @@ class TestSweepTelemetry:
 class TestSharedStoreAcrossWorkers:
     def _points(self, params):
         # Measured reports are invariant to database reuse (the engine's
-        # determinism contract), so serial and parallel runs compare
-        # exactly.  Traces are not compared here: a point's unmeasured
-        # reset-flush events depend on which points its worker ran
-        # before it, with or without a store.
+        # determinism contract), so the store-backed parallel run and the
+        # store-less serial run compare exactly.  Traces are not compared
+        # across that boundary: store-less points reuse mutated databases,
+        # so their unmeasured reset-flush events depend on what ran before
+        # (snapshot-mode points always attach pristine clones and don't).
         return [
             SweepPoint(
                 params=params.replace(num_top=num_top),

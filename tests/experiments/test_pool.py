@@ -137,17 +137,25 @@ class TestPointCache:
             dataclasses.asdict(r) for r in warm
         ]
 
-    def test_torn_tail_line_is_skipped(self, params, tmp_path):
+    def test_torn_entry_is_quarantined_on_load(self, params, tmp_path):
+        """A truncated entry fails verification and reads as a miss."""
+        import os
+
         cache = PointCache(str(tmp_path))
         run_sweep([_point(params)], cache=cache)
-        with open(cache.path, "a") as handle:
+        with open(os.path.join(cache.dir, "torn-entry.json"), "w") as handle:
             handle.write('{"key": "truncated-entr')
         reloaded = PointCache(str(tmp_path))
         assert len(reloaded) == 1
+        assert reloaded.corrupt == 1
+        # The torn file was moved aside, not deleted.
+        assert any(
+            name.endswith(".corrupt") for name in os.listdir(reloaded.dir)
+        )
 
     def test_cache_files_are_per_fingerprint(self, tmp_path, monkeypatch):
         cache = PointCache(str(tmp_path))
-        assert cache.fingerprint[:16] in cache.path
+        assert cache.fingerprint[:16] in cache.dir
 
 
 class TestTracedPoints:

@@ -1,0 +1,62 @@
+"""The chaos harness: faulted sweeps must be bit-identical to clean ones."""
+
+import json
+import os
+
+import pytest
+
+from repro.fault import plan as fault_plan
+from repro.fault.chaos import run_chaos
+
+
+@pytest.fixture(autouse=True)
+def no_active_plan():
+    fault_plan.clear()
+    yield
+    fault_plan.clear()
+
+
+def test_chaos_all_passes_and_writes_the_summary(tmp_path):
+    assert run_chaos(scale=0.02, fault_seed=0, out=str(tmp_path), retrieves=3) == 0
+
+    with open(tmp_path / "chaos" / "CHAOS.json") as handle:
+        summary = json.load(handle)
+    assert set(summary) == {"reference", "cold", "warm"}
+    digests = {summary[name]["digest"] for name in summary}
+    assert len(digests) == 1
+    # The check must have tested something: both faulted passes saw
+    # injections or recovery events, and recovered all of them.
+    for name in ("cold", "warm"):
+        faults = summary[name]["faults"]
+        activity = sum(faults["injections"].values()) + faults["retries"] + \
+            faults["cache_corrupt"] + faults["downgrades"]
+        assert activity > 0
+        assert summary[name]["quarantined"] == []
+
+    # Injection is globally off again after the run.
+    assert fault_plan.active() is None
+
+
+def test_chaos_honours_a_custom_fault_schedule(tmp_path):
+    assert (
+        run_chaos(
+            scale=0.02,
+            fault_seed=3,
+            out=str(tmp_path),
+            faults="point.poison=1x2,disk.read=1x1@100",
+            retrieves=3,
+        )
+        == 0
+    )
+    with open(tmp_path / "chaos" / "CHAOS.json") as handle:
+        summary = json.load(handle)
+    assert summary["cold"]["faults"]["injections"]["point.poison"] == 2
+
+
+def test_kill_phase_rejects_an_out_of_range_boundary(tmp_path):
+    assert run_chaos(scale=0.02, out=str(tmp_path), phase="kill", kill_after=99) == 2
+
+
+def test_resume_phase_without_a_marker_is_an_error(tmp_path):
+    assert run_chaos(scale=0.02, out=str(tmp_path), phase="resume") == 2
+    assert not os.path.exists(tmp_path / "chaos" / "CHAOS.json")

@@ -1,0 +1,127 @@
+"""The fault plan itself: schedules, determinism, parsing, effects."""
+
+import pickle
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.fault import plan as fault_plan
+from repro.fault.plan import SITES, FaultPlan, FaultSpec, parse_faults
+
+
+@pytest.fixture(autouse=True)
+def no_active_plan():
+    """Every test starts and ends with injection off."""
+    fault_plan.clear()
+    yield
+    fault_plan.clear()
+
+
+class TestFaultSpec:
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("disk.explode")
+
+    def test_rate_must_be_a_probability(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("disk.read", rate=1.5)
+
+    def test_every_documented_site_is_constructible(self):
+        for site in SITES:
+            FaultSpec(site)
+
+
+class TestFaultPlan:
+    def test_count_bounds_firings(self):
+        plan = FaultPlan([FaultSpec("disk.read", count=2)])
+        fires = [plan.fire("disk.read") for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+        assert plan.injections["disk.read"] == 2
+        assert plan.opportunities["disk.read"] == 5
+
+    def test_after_skips_leading_opportunities(self):
+        plan = FaultPlan([FaultSpec("sweep.kill", after=3)])
+        assert [plan.fire("sweep.kill") for _ in range(5)] == [
+            False, False, False, True, False,
+        ]
+
+    def test_unscheduled_site_never_fires(self):
+        plan = FaultPlan([FaultSpec("disk.read")])
+        assert not any(plan.fire("disk.write") for _ in range(10))
+
+    def test_same_seed_fires_at_the_same_opportunities(self):
+        def schedule(seed):
+            plan = FaultPlan(
+                [FaultSpec("disk.read", rate=0.3, count=None)], seed=seed
+            )
+            return [plan.fire("disk.read") for _ in range(50)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_duplicate_site_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([FaultSpec("disk.read"), FaultSpec("disk.read")])
+
+    def test_pickle_roundtrip_restarts_the_schedule(self):
+        plan = FaultPlan([FaultSpec("disk.read", count=1)], seed=3)
+        assert plan.fire("disk.read")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 3
+        assert clone.injections["disk.read"] == 0
+        assert clone.fire("disk.read")  # its own budget, not the parent's
+
+
+class TestHit:
+    def test_noop_without_a_plan(self):
+        fault_plan.hit("disk.read")  # must not raise
+
+    def test_scheduled_site_raises_fault_injected(self):
+        fault_plan.install(FaultPlan([FaultSpec("disk.read")]))
+        with pytest.raises(FaultInjected) as excinfo:
+            fault_plan.hit("disk.read")
+        assert excinfo.value.site == "disk.read"
+        fault_plan.hit("disk.read")  # count=1: budget spent
+
+    def test_worker_sites_are_suppressed_outside_workers(self, monkeypatch):
+        # worker.crash fires os._exit — if the gate were broken this
+        # test run would die, so assert via the injection counter.
+        monkeypatch.setattr(fault_plan, "_IN_WORKER", False)
+        plan = FaultPlan([FaultSpec("worker.crash")])
+        fault_plan.install(plan)
+        fault_plan.hit("worker.crash")
+        assert plan.injections["worker.crash"] == 0
+
+
+class TestCorruptBytes:
+    def test_flips_one_byte_when_scheduled(self):
+        fault_plan.install(FaultPlan([FaultSpec("snapshot.load")]))
+        blob = b"x" * 64
+        corrupted = fault_plan.corrupt_bytes("snapshot.load", blob)
+        assert corrupted != blob
+        assert len(corrupted) == len(blob)
+        # Budget spent: the next load passes through untouched.
+        assert fault_plan.corrupt_bytes("snapshot.load", blob) == blob
+
+    def test_passthrough_without_a_plan(self):
+        assert fault_plan.corrupt_bytes("snapshot.load", b"abc") == b"abc"
+
+
+class TestParseFaults:
+    def test_full_syntax(self):
+        specs = parse_faults("disk.read=0.5x3@2,snapshot.load,sweep.kill=1x1@5")
+        assert specs[0] == FaultSpec("disk.read", rate=0.5, count=3, after=2)
+        assert specs[1] == FaultSpec("snapshot.load", rate=1.0, count=1)
+        assert specs[2] == FaultSpec("sweep.kill", rate=1.0, count=1, after=5)
+
+    def test_star_count_is_unbounded(self):
+        (spec,) = parse_faults("disk.read=0.1x*")
+        assert spec.count is None
+
+    def test_empty_schedule_is_rejected(self):
+        with pytest.raises(ValueError, match="empty fault schedule"):
+            parse_faults(" , ")
+
+    def test_unknown_site_propagates(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            parse_faults("disk.melt=1")

@@ -176,6 +176,7 @@ class TestSnapshotStore:
             "disk_hits": 0,
             "misses": 1,
             "puts": 1,
+            "corrupt": 0,
         }
         # A second store over the same root reads the file back.
         fresh = SnapshotStore(str(tmp_path))

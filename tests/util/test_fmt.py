@@ -13,6 +13,15 @@ class TestFormatFloat:
         assert format_float(3.14159) == "3.14"
         assert format_float(3.14159, digits=4) == "3.1416"
 
+    def test_nan_renders_as_a_degraded_cell(self):
+        # Quarantined sweep cells surface as NaN; tables must render
+        # them instead of dying on int(nan).
+        assert format_float(float("nan")) == "--"
+        assert "--" in format_table(["a"], [[float("nan")]])
+
+    def test_infinities_do_not_crash(self):
+        assert format_float(float("inf")) == "inf"
+
 
 class TestFormatTable:
     def test_alignment_and_rule(self):
