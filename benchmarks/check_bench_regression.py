@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: fail CI when the engine gets slower.
+
+Compares a freshly produced ``BENCH_sweeps.json`` (the cold-run telemetry
+`python -m repro report` writes) against a committed baseline and exits
+non-zero when the cold run slowed down by more than the tolerance
+(default 25%).  The per-experiment breakdown is printed either way, so a
+passing run still shows where time moved.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_sweeps.json \
+        benchmarks/BENCH_sweeps_baseline.json [--tolerance 1.25]
+
+Only the total is gated: per-experiment seconds at CI scale are noisy
+(a few seconds each), while the total amortises scheduler jitter over
+hundreds of points.  The baseline was recorded on a GitHub-runner-class
+core; re-record it (``--update``) whenever a deliberate engine change
+shifts the cost profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_sweeps.json from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        help="fail when current total exceeds baseline * TOLERANCE "
+        "(default 1.25 = 25%% slowdown)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current run and exit 0",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print("baseline updated: total %.1fs" % current["total_seconds"])
+        return 0
+    baseline = load(args.baseline)
+
+    if current.get("scale") != baseline.get("scale"):
+        print(
+            "scale mismatch: current %s vs baseline %s — not comparable"
+            % (current.get("scale"), baseline.get("scale"))
+        )
+        return 2
+
+    base_by_name = {
+        row["name"]: row for row in baseline.get("experiments", [])
+    }
+    print("%-28s %9s %9s %8s" % ("experiment", "baseline", "current", "ratio"))
+    for row in current.get("experiments", []):
+        name = row.get("name", "?")
+        base_row = base_by_name.get(name)
+        if base_row is None or not base_row.get("seconds"):
+            print("%-28s %9s %8.2fs %8s" % (name, "-", row["seconds"], "new"))
+            continue
+        ratio = row["seconds"] / base_row["seconds"]
+        print(
+            "%-28s %8.2fs %8.2fs %7.2fx"
+            % (name, base_row["seconds"], row["seconds"], ratio)
+        )
+
+    total = current["total_seconds"]
+    base_total = baseline["total_seconds"]
+    ratio = total / base_total
+    limit = args.tolerance
+    print(
+        "total: baseline %.1fs, current %.1fs, ratio %.2fx (limit %.2fx)"
+        % (base_total, total, ratio, limit)
+    )
+    if ratio > limit:
+        print(
+            "FAIL: cold run slowed down by more than %d%%"
+            % round((limit - 1) * 100)
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,34 @@ def _configure_policy(args: argparse.Namespace) -> None:
     )
 
 
+def _run_profiled(args: argparse.Namespace, fn):
+    """Run ``fn`` under cProfile when ``--profile`` was given.
+
+    Prints the top 30 entries by cumulative time and saves the raw
+    ``.pstats`` dump under the results directory for later analysis
+    (``python -m pstats results/profile-<command>.pstats``).
+    """
+    if not getattr(args, "profile", False):
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        out_dir = getattr(args, "out", None) or "results"
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "profile-%s.pstats" % args.command)
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(30)
+        print("profile written to %s" % path)
+    return result
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.pool import (
         DB_CACHE_DIRNAME,
@@ -94,7 +122,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         num_retrieves=params.num_queries,
     )
-    report = run_sweep([point], jobs=args.jobs)[0]
+    report = _run_profiled(args, lambda: run_sweep([point], jobs=args.jobs)[0])
     pairs = [
         ("strategy", report.strategy),
         ("parents", params.num_parents),
@@ -131,7 +159,16 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv += ["--max-retries", str(args.max_retries)]
     if args.point_timeout is not None:
         argv += ["--point-timeout", str(args.point_timeout)]
-    return report_main(argv)
+    return _run_profiled(args, lambda: report_main(argv))
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import main as bench_main
+
+    argv: List[str] = ["--repeat", str(args.repeat), "--out", args.out]
+    if args.only:
+        argv += ["--only"] + args.only
+    return bench_main(argv)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -331,10 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-db-cache", dest="no_db_cache", action="store_true",
                      help="rebuild the database instead of attaching a "
                      "snapshot clone from OUT/.dbcache")
+    run.add_argument("--profile", action="store_true",
+                     help="run under cProfile; print the top 30 by "
+                     "cumulative time and save OUT/profile-run.pstats")
     _add_policy_flags(run)
 
     report = sub.add_parser("report", help="run every figure/table experiment")
-    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--scale", type=float, default=1.0,
+                        help="database scale relative to the paper's "
+                        "10,000 parents (default: full paper scale)")
     report.add_argument("--out", default="results")
     report.add_argument("--only", nargs="*")
     report.add_argument("--jobs", type=int, default=1,
@@ -347,7 +389,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rebuild every database (skip OUT/.dbcache)")
     report.add_argument("--bench-out", dest="bench_out", default=None,
                         help="telemetry JSON path ('' disables)")
+    report.add_argument("--profile", action="store_true",
+                        help="run under cProfile; print the top 30 by "
+                        "cumulative time and save OUT/profile-report.pstats")
     _add_policy_flags(report)
+
+    bench = sub.add_parser(
+        "bench", help="microbenchmark the storage/query hot paths"
+    )
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timing repetitions per benchmark (best-of)")
+    bench.add_argument("--only", nargs="*",
+                       help="run only the named benchmarks")
+    bench.add_argument("--out", default="results",
+                       help="directory for BENCH_micro.json ('' disables)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -433,6 +488,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "dbcache": cmd_dbcache,
         "chaos": cmd_chaos,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

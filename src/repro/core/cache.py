@@ -21,6 +21,7 @@ provided for the A3 ablation, as :class:`InsideUnitCache`.
 from __future__ import annotations
 
 from collections import OrderedDict
+from functools import lru_cache
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.obs.trace import stage
@@ -29,9 +30,19 @@ from repro.storage.hashfile import HashFile, stable_hash
 from repro.storage.record import BlobField, IntField, Schema
 
 
+@lru_cache(maxsize=1 << 16)
+def _unit_hashkey_cached(key: Tuple[int, ...]) -> int:
+    return stable_hash(key)
+
+
 def unit_hashkey(child_rel: int, child_keys: Sequence[int]) -> int:
-    """The paper's hashkey: a deterministic function of the unit's OIDs."""
-    return stable_hash((child_rel,) + tuple(child_keys))
+    """The paper's hashkey: a deterministic function of the unit's OIDs.
+
+    Memoized: the cached strategies recompute the hashkey of the same few
+    thousand units on every retrieve and every invalidation, and the
+    recursive :func:`stable_hash` walk showed up in sweep profiles.
+    """
+    return _unit_hashkey_cached((child_rel,) + tuple(child_keys))
 
 
 class ILockTable:

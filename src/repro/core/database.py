@@ -48,6 +48,11 @@ class Unit:
     child_keys: Tuple[int, ...]
     parents: Tuple[int, ...]
 
+    def __deepcopy__(self, memo: dict) -> "Unit":
+        # Frozen dataclass of ints and int tuples; snapshot clones share
+        # the unit objects instead of re-copying every key tuple.
+        return self
+
     @property
     def hashkey(self) -> int:
         return unit_hashkey(self.child_rel, self.child_keys)

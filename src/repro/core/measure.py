@@ -17,14 +17,70 @@ Standard phase names (strategies may add others):
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional
 
 from repro.storage.disk import DiskManager, IoSnapshot
 
 PARENT_PHASE = "parent"
 CHILD_PHASE = "child"
 UPDATE_PHASE = "update"
+
+
+class _PhaseContext:
+    """Reusable, allocation-light replacement for a @contextmanager phase.
+
+    Reads the disk's raw ``reads``/``writes`` integers directly instead
+    of materialising :class:`IoSnapshot` objects on entry — the phase
+    bracket runs once per measured query and showed up in profiles.
+    """
+
+    __slots__ = ("meter", "name", "_reads", "_writes")
+
+    def __init__(self, meter: "CostMeter", name: str) -> None:
+        self.meter = meter
+        self.name = name
+
+    def __enter__(self) -> None:
+        meter = self.meter
+        if meter._active is not None:
+            raise RuntimeError(
+                "phase %r started while %r active" % (self.name, meter._active)
+            )
+        meter._active = self.name
+        tracer = meter.tracer
+        if tracer is not None:
+            tracer.phase = self.name
+        disk = meter.disk
+        self._reads = disk.reads
+        self._writes = disk.writes
+
+    def __exit__(self, *exc: object) -> None:
+        meter = self.meter
+        disk = meter.disk
+        name = self.name
+        delta = IoSnapshot(disk.reads - self._reads, disk.writes - self._writes)
+        phases = meter._phases
+        accumulated = phases.get(name)
+        phases[name] = delta if accumulated is None else accumulated + delta
+        meter._active = None
+        tracer = meter.tracer
+        if tracer is not None:
+            tracer.phase = None
+
+
+class _NullPhase:
+    """Shared no-op phase context (see :class:`NullMeter`)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
 
 
 class CostMeter:
@@ -42,30 +98,13 @@ class CostMeter:
         self._phases: Dict[str, IoSnapshot] = {}
         self._active: Optional[str] = None
 
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
+    def phase(self, name: str) -> _PhaseContext:
         """Attribute I/O inside the ``with`` block to phase ``name``.
 
         Phases do not nest: a strategy is either touching parents or
         fetching subobjects, never both "at once".
         """
-        if self._active is not None:
-            raise RuntimeError(
-                "phase %r started while %r active" % (name, self._active)
-            )
-        self._active = name
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.phase = name
-        before = self.disk.snapshot()
-        try:
-            yield
-        finally:
-            delta = self.disk.snapshot() - before
-            self._phases[name] = self._phases.get(name, IoSnapshot()) + delta
-            self._active = None
-            if tracer is not None:
-                tracer.phase = None
+        return _PhaseContext(self, name)
 
     # ------------------------------------------------------------------
     def io(self, name: str) -> IoSnapshot:
@@ -118,6 +157,5 @@ class NullMeter(CostMeter):
         self._phases = {}
         self._active = None
 
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        yield
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE

@@ -23,6 +23,10 @@ class Oid(NamedTuple):
     rel: int
     key: int
 
+    def __deepcopy__(self, memo: dict) -> "Oid":
+        # Immutable pair of ints — shared freely across snapshot clones.
+        return self
+
     def encode(self) -> int:
         """Pack into one int, ordered first by relation then by key."""
         if not 0 <= self.key < KEY_SPACE:

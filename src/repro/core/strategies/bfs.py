@@ -52,17 +52,28 @@ class _BreadthFirst(Strategy):
         pool = db.pool
 
         # Phase 1: scan qualifying parents, filling one temporary of OIDs
-        # per referenced child relation.
+        # per referenced child relation.  A parent's children are spooled
+        # in consecutive same-relation runs via insert_many, which batches
+        # the tail-page appends (identical touch-per-record accounting).
         temps: Dict[int, Any] = {}
+        children_index = db.parent_schema.field_index("children")
         with meter.phase(PARENT_PHASE), stage("scan"):
             for parent in db.parents_in_range(query.lo, query.hi):
-                for oid in db.children_of(parent):
-                    rel_index = oid.rel - 1
+                oids = parent[children_index]
+                pos = 0
+                n = len(oids)
+                while pos < n:
+                    rel = oids[pos].rel
+                    end = pos + 1
+                    while end < n and oids[end].rel == rel:
+                        end += 1
+                    rel_index = rel - 1
                     temp = temps.get(rel_index)
                     if temp is None:
                         temp = make_temp(pool, TEMP_SCHEMA, prefix="bfs-temp")
                         temps[rel_index] = temp
-                    temp.insert((oid.key,))
+                    temp.insert_many([(oid.key,) for oid in oids[pos:end]])
+                    pos = end
 
         # Phase 2: per child relation — sort the temporary (dropping
         # duplicates for BFSNODUP) and merge-join it with ChildRel.

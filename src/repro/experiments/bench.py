@@ -1,0 +1,278 @@
+"""Microbenchmarks of the engine's hot paths (``repro bench``).
+
+The sweep-level telemetry (``BENCH_sweeps.json``, written by ``repro
+report --bench-out``) measures whole experiments; this module measures
+the four paths those experiments spend their time in, in isolation:
+
+* ``codec_roundtrip`` — slotted-page byte encode + decode of a full page
+  of ParentRel-shaped records through the schema's precompiled
+  :class:`~repro.storage.record.RecordCodec`;
+* ``heap_scan``       — page-batched full scan of a heap file
+  (:meth:`~repro.storage.heap.HeapFile.scan_pages`);
+* ``btree_probe``     — random B-tree lookups (descent + leaf collect),
+  the inner loop of every DFS-family strategy;
+* ``join_inner``      — the merge-probe join's coordinated forward walk
+  over sorted probe keys, the inner loop of BFS.
+
+Each benchmark reports the best-of-``repeat`` wall time and a derived
+throughput, and the results land in ``BENCH_micro.json`` — the file the
+CI regression gate compares against its committed baseline.
+
+The timed loops run real buffer-pool traffic, so the numbers move when
+the accounting hot path regresses, not just when the codecs do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.oid import Oid
+from repro.query.join import merge_probe_join
+from repro.storage.catalog import Catalog
+from repro.storage.record import CharField, IntField, OidListField, Schema
+from repro.util.fingerprint import code_fingerprint
+
+#: ParentRel-shaped schema (Section 4 of the paper: ~200-byte tuples).
+PARENT_LIKE_SCHEMA = Schema(
+    [
+        IntField("oid"),
+        IntField("ret1"),
+        IntField("ret2"),
+        IntField("ret3"),
+        CharField("dummy", 160),
+        OidListField("children", 25),
+    ]
+)
+
+#: ChildRel-shaped schema (~100-byte tuples).
+CHILD_LIKE_SCHEMA = Schema(
+    [
+        IntField("oid"),
+        IntField("ret1"),
+        IntField("ret2"),
+        IntField("ret3"),
+        CharField("dummy", 80),
+    ]
+)
+
+
+def _parent_record(key: int, rng: random.Random) -> Tuple[Any, ...]:
+    children = [Oid(1, rng.randrange(1 << 20)) for _ in range(5)]
+    return (
+        key,
+        rng.randrange(1 << 30),
+        rng.randrange(1 << 30),
+        rng.randrange(1 << 30),
+        "x" * rng.randrange(20, 120),
+        children,
+    )
+
+
+def _child_record(key: int, rng: random.Random) -> Tuple[Any, ...]:
+    return (
+        key,
+        rng.randrange(1 << 30),
+        rng.randrange(1 << 30),
+        rng.randrange(1 << 30),
+        "y" * rng.randrange(10, 60),
+    )
+
+
+def _time_best(fn: Callable[[], Any], repeat: int) -> Tuple[float, Any]:
+    """Best-of-``repeat`` wall time of ``fn`` (and its last return value)."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, value
+
+
+# ----------------------------------------------------------------------
+# individual benchmarks
+# ----------------------------------------------------------------------
+def bench_codec_roundtrip(repeat: int, pages: int = 200) -> Dict[str, Any]:
+    """Encode + decode ``pages`` page images of ParentRel-shaped records."""
+    codec = PARENT_LIKE_SCHEMA.codec
+    if codec is None:  # REPRO_TUPLE_PAGES debug fallback
+        return {"skipped": "schema has no codec (REPRO_TUPLE_PAGES set)"}
+    rng = random.Random(7)
+    page_records = [
+        [_parent_record(page * 16 + i, rng) for i in range(10)]
+        for page in range(pages)
+    ]
+    encoded = [codec.encode(records) for records in page_records]
+
+    def encode_all() -> int:
+        total = 0
+        for records in page_records:
+            total += len(codec.encode(records))
+        return total
+
+    def decode_all() -> int:
+        total = 0
+        for buf in encoded:
+            total += len(codec.decode(buf))
+        return total
+
+    encode_s, byte_total = _time_best(encode_all, repeat)
+    decode_s, record_total = _time_best(decode_all, repeat)
+    decoded = codec.decode(encoded[0])
+    if decoded != page_records[0]:
+        raise AssertionError("codec round-trip mismatch in benchmark data")
+    return {
+        "pages": pages,
+        "records": sum(len(r) for r in page_records),
+        "encode_seconds": round(encode_s, 6),
+        "decode_seconds": round(decode_s, 6),
+        "encode_pages_per_second": round(pages / encode_s, 1),
+        "decode_pages_per_second": round(pages / decode_s, 1),
+        "bytes": byte_total,
+    }
+
+
+def bench_heap_scan(repeat: int, records: int = 20000) -> Dict[str, Any]:
+    """Page-batched scan of a heap of ChildRel-shaped records."""
+    catalog = Catalog(buffer_pages=4096)
+    heap = catalog.create_heap("bench-heap", CHILD_LIKE_SCHEMA)
+    rng = random.Random(11)
+    heap.insert_many(_child_record(i, rng) for i in range(records))
+
+    def scan_all() -> int:
+        count = 0
+        for batch in heap.scan_pages():
+            count += len(batch)
+        return count
+
+    seconds, scanned = _time_best(scan_all, repeat)
+    if scanned != records:
+        raise AssertionError("heap scan lost records: %d != %d" % (scanned, records))
+    return {
+        "records": records,
+        "pages": heap.num_pages,
+        "seconds": round(seconds, 6),
+        "records_per_second": round(records / seconds, 1),
+    }
+
+
+def bench_btree_probe(repeat: int, records: int = 20000, probes: int = 20000) -> Dict[str, Any]:
+    """Random lookups against a bulk-loaded B-tree (the DFS inner loop)."""
+    catalog = Catalog(buffer_pages=4096)
+    tree = catalog.create_btree("bench-btree", CHILD_LIKE_SCHEMA, "oid")
+    rng = random.Random(13)
+    tree.bulk_load([_child_record(i, rng) for i in range(records)])
+    keys = [rng.randrange(records) for _ in range(probes)]
+
+    def probe_all() -> int:
+        lookup_one = tree.lookup_one
+        count = 0
+        for key in keys:
+            lookup_one(key)
+            count += 1
+        return count
+
+    seconds, count = _time_best(probe_all, repeat)
+    return {
+        "records": records,
+        "probes": count,
+        "height": tree.height,
+        "seconds": round(seconds, 6),
+        "probes_per_second": round(count / seconds, 1),
+    }
+
+
+def bench_join_inner(repeat: int, records: int = 20000, probes: int = 40000) -> Dict[str, Any]:
+    """Merge-probe join of sorted keys against a B-tree (the BFS inner loop)."""
+    catalog = Catalog(buffer_pages=4096)
+    tree = catalog.create_btree("bench-join", CHILD_LIKE_SCHEMA, "oid")
+    rng = random.Random(17)
+    tree.bulk_load([_child_record(i, rng) for i in range(records)])
+    keys = sorted(rng.randrange(records) for _ in range(probes))
+
+    def join_all() -> int:
+        count = 0
+        for _ in merge_probe_join(keys, tree, project=lambda r: r[1]):
+            count += 1
+        return count
+
+    seconds, matched = _time_best(join_all, repeat)
+    if matched == 0:
+        raise AssertionError("merge-probe join benchmark matched nothing")
+    return {
+        "records": records,
+        "probes": probes,
+        "matches": matched,
+        "seconds": round(seconds, 6),
+        "probes_per_second": round(probes / seconds, 1),
+    }
+
+
+BENCHMARKS: Dict[str, Callable[[int], Dict[str, Any]]] = {
+    "codec_roundtrip": bench_codec_roundtrip,
+    "heap_scan": bench_heap_scan,
+    "btree_probe": bench_btree_probe,
+    "join_inner": bench_join_inner,
+}
+
+
+def run_benchmarks(repeat: int = 3, only: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run the selected microbenchmarks; return the BENCH_micro payload."""
+    names = only or sorted(BENCHMARKS)
+    results: Dict[str, Any] = {}
+    for name in names:
+        if name not in BENCHMARKS:
+            raise ValueError(
+                "unknown benchmark %r (choose from %s)"
+                % (name, ", ".join(sorted(BENCHMARKS)))
+            )
+        results[name] = BENCHMARKS[name](repeat)
+    return {
+        "kind": "repro-bench-micro",
+        "code_fingerprint": code_fingerprint()[:16],
+        "python": platform.python_version(),
+        "repeat": repeat,
+        "benchmarks": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="storage/query hot-path microbenchmarks"
+    )
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per benchmark (best-of)")
+    parser.add_argument("--only", nargs="*", choices=sorted(BENCHMARKS),
+                        help="run only the named benchmarks")
+    parser.add_argument("--out", default="results",
+                        help="directory for BENCH_micro.json ('' disables)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(repeat=args.repeat, only=args.only)
+    for name, result in payload["benchmarks"].items():
+        parts = ", ".join(
+            "%s=%s" % (key, value)
+            for key, value in sorted(result.items())
+            if key.endswith("_per_second") or key == "seconds" or key == "skipped"
+        )
+        print("%-16s %s" % (name, parts))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "BENCH_micro.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

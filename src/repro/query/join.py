@@ -46,24 +46,27 @@ def merge_probe_join(
     """
     with stage("merge-join"):
         cursor = inner.cursor()
+        seek = cursor.seek
+        current = cursor.current
+        advance = cursor.advance
+        key_index = inner._key_index
         last_key = object()
         last_matches: List[Any] = []
         for key in sorted_keys:
             if key == last_key:
                 # Same leaf, already resident: re-emit without re-probing.
-                for match in last_matches:
-                    yield match
+                yield from last_matches
                 continue
-            cursor.seek(key)
+            seek(key)
             last_key = key
             last_matches = []
-            record = cursor.current()
-            while record is not None and inner.key_of(record) == key:
+            record = current()
+            while record is not None and record[key_index] == key:
                 value = project(record) if project is not None else record
                 last_matches.append(value)
                 yield value
-                cursor.advance()
-                record = cursor.current()
+                advance()
+                record = current()
 
 
 def iterative_substitution_join(

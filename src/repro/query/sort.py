@@ -55,16 +55,35 @@ def external_sort(
         # --------------------------------------------------------------
         # Phase 1: run generation.
         # --------------------------------------------------------------
+        record_size = schema.record_size
+        fixed = schema._fixed_record_size
+        # Fixed-size records fill the workspace after a fixed record
+        # count, so the run boundary is a length check instead of
+        # per-record byte accounting (same flush points either way).
+        threshold = None if fixed is None else -(-page_budget // fixed)
         runs: List[TempRelation] = []
         batch: List[Tuple[Any, ...]] = []
+        append = batch.append
         batch_bytes = 0
-        for record in source.scan():
-            batch.append(record)
-            batch_bytes += schema.record_size(record)
-            if batch_bytes >= page_budget:
-                runs.append(_write_run(pool, schema, batch, key, distinct))
-                batch = []
-                batch_bytes = 0
+        # Page-at-a-time consumption: one pool touch per source page, then
+        # a plain Python loop over the decoded batch.
+        for records in source.scan_pages():
+            if threshold is not None:
+                for record in records:
+                    append(record)
+                    if len(batch) >= threshold:
+                        runs.append(_write_run(pool, schema, batch, key, distinct))
+                        batch = []
+                        append = batch.append
+                continue
+            for record in records:
+                append(record)
+                batch_bytes += record_size(record)
+                if batch_bytes >= page_budget:
+                    runs.append(_write_run(pool, schema, batch, key, distinct))
+                    batch = []
+                    append = batch.append
+                    batch_bytes = 0
         if batch or not runs:
             runs.append(_write_run(pool, schema, batch, key, distinct))
         if drop_source:

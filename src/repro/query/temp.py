@@ -60,11 +60,9 @@ class TempRelation:
         self.heap.insert(record)
 
     def insert_many(self, records: Iterable[Tuple[Any, ...]]) -> int:
-        count = 0
-        for record in records:
-            self.insert(record)
-            count += 1
-        return count
+        if self._sealed:
+            raise RuntimeError("insert into sealed temporary %r" % self.heap.name)
+        return self.heap.insert_many(records)
 
     def seal(self) -> "TempRelation":
         """Force-write the temporary; further inserts are rejected."""
@@ -76,6 +74,10 @@ class TempRelation:
 
     def scan(self) -> Iterator[Tuple[Any, ...]]:
         return self.heap.scan()
+
+    def scan_pages(self):
+        """Page-at-a-time scan (see :meth:`HeapFile.scan_pages`)."""
+        return self.heap.scan_pages()
 
     def drop(self) -> None:
         """Discard the temporary (no write-back of dirty scratch pages)."""

@@ -22,17 +22,36 @@ the page header, which :data:`repro.storage.page.PAGE_HEADER_BYTES` already
 charges for.  Internal entries are charged ``INDEX_ENTRY_BYTES`` each, so
 index fan-out — and therefore how many index pages compete for buffer
 space — is realistic.
+
+Raw-speed notes
+---------------
+
+The probe paths (``lookup``, ``update_field``, the cursor) are the
+hottest code in the simulator; they are written against the buffer pool's
+epoch-guarded lease contract (see :mod:`repro.storage.buffer`):
+
+* ``lookup`` runs the descent with direct pool fetches, then emulates the
+  historical cursor loop over the leaf **touch by touch**, collapsing
+  consecutive touches of the same resident leaf into self-accounted hits
+  — every counter and the eviction stream stay bit-identical to the
+  cursor-based implementation, pinned by the golden trace digests;
+* ``update_field``'s second root-to-leaf descent re-touches the same
+  pages in the same order with no pool operation in between, so the LRU
+  order provably cannot change; :meth:`BufferPool.replay_writable`
+  collapses it into one call (guarded: falls back to the slow path when
+  the lookup crossed a leaf boundary or the pool is tiny);
+* the cursor holds a ``(frame, epoch)`` lease on its current leaf so the
+  merge join's repeated same-leaf probes cost one counter bump each.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
 from repro.storage.buffer import BufferPool
-from repro.storage.page import Page, PageId
+from repro.storage.page import SLOT_BYTES, Page, PageId
 from repro.storage.record import Schema
 
 #: Bytes per internal-node entry (key + child pointer).
@@ -41,12 +60,23 @@ INDEX_ENTRY_BYTES = 12
 KeyFunc = Callable[[Tuple[Any, ...]], Any]
 
 
-@dataclass
 class _NodeMeta:
-    """Sidecar header for one node page."""
+    """Sidecar header for one node page.
 
-    is_leaf: bool
-    next_leaf: Optional[int] = None  # page_no of the right sibling (leaves)
+    A ``__slots__`` class rather than a dataclass: ``is_leaf`` is read on
+    every level of every descent and ``next_leaf`` on every leaf-chain
+    step, so attribute access off ``__dict__`` showed up in profiles.
+    """
+
+    __slots__ = ("is_leaf", "next_leaf")
+
+    def __init__(self, is_leaf: bool, next_leaf: Optional[int] = None) -> None:
+        self.is_leaf = is_leaf
+        # page_no of the right sibling (leaves only)
+        self.next_leaf = next_leaf
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "_NodeMeta(is_leaf=%r, next_leaf=%r)" % (self.is_leaf, self.next_leaf)
 
 
 class BTreeCursor:
@@ -59,10 +89,37 @@ class BTreeCursor:
     whose outer is sorted.
     """
 
+    __slots__ = ("tree", "_page_no", "_slot", "_lease_no", "_frame", "_epoch")
+
     def __init__(self, tree: "BTreeFile") -> None:
         self.tree = tree
         self._page_no: Optional[int] = None
         self._slot = 0
+        # Epoch lease on the current leaf (see buffer module docstring).
+        self._lease_no: Optional[int] = None
+        self._frame = None
+        self._epoch = -1
+
+    def _touch(self, page_no: int) -> Page:
+        """One pool touch of ``page_no`` (lease-collapsed when free).
+
+        While the pool epoch matches the lease, the page is provably still
+        resident and MRU, so the touch is accounted directly (one hit, one
+        epoch bump — what :meth:`BufferPool.fetch` would have done, minus
+        the no-op ``move_to_end``).  Otherwise a real fetch re-establishes
+        the lease.
+        """
+        pool = self.tree.pool
+        if page_no == self._lease_no and pool.epoch == self._epoch:
+            pool.stats.hits += 1
+            pool.epoch += 1
+            self._epoch = pool.epoch
+            return self._frame.page
+        frame = pool.fetch_frame(self.tree._page_ids()[page_no])
+        self._lease_no = page_no
+        self._frame = frame
+        self._epoch = pool.epoch
+        return frame.page
 
     def seek(self, key: Any) -> None:
         """Position at the first record with key >= ``key``.
@@ -74,7 +131,7 @@ class BTreeCursor:
         read, not save one, so it is never done.
         """
         if self._page_no is not None:
-            page = self.tree._fetch(self._page_no)
+            page = self._touch(self._page_no)
             keys = self.tree._leaf_keys(page)
             if keys and keys[0] <= key <= keys[-1]:
                 self._slot = bisect.bisect_left(keys, key)
@@ -87,10 +144,13 @@ class BTreeCursor:
         """Record under the cursor, or None when exhausted."""
         if self._page_no is None:
             return None
-        page = self.tree._fetch(self._page_no)
-        if self._slot >= len(page):
+        page = self._touch(self._page_no)
+        records = page.records
+        if records is None:
+            records = page._materialize()
+        if self._slot >= len(records):
             return None
-        return page.get(self._slot)
+        return records[self._slot]
 
     def advance(self) -> None:
         """Move to the next record in key order."""
@@ -100,11 +160,15 @@ class BTreeCursor:
         self._skip_to_valid()
 
     def _skip_to_valid(self) -> None:
+        meta = self.tree._meta
         while self._page_no is not None:
-            page = self.tree._fetch(self._page_no)
-            if self._slot < len(page):
+            page = self._touch(self._page_no)
+            records = page.records
+            if records is None:
+                records = page._materialize()
+            if self._slot < len(records):
                 return
-            self._page_no = self.tree._meta[self._page_no].next_leaf
+            self._page_no = meta[self._page_no].next_leaf
             self._slot = 0
 
 
@@ -142,6 +206,10 @@ class BTreeFile:
         # dominated profile time on B-tree-heavy sweeps.
         self._leaf_key_cache: Dict[int, Tuple[int, List[Any]]] = {}
         self._sep_cache: Dict[int, Tuple[int, List[Any]]] = {}
+        # Cached disk.page_ids() list for this (single-writer) file;
+        # dropped whenever the tree allocates a page.  PageId values are
+        # positional, so a cached list is valid until the file grows.
+        self._ids: Optional[List[PageId]] = None
 
     def __getstate__(self) -> Dict[str, Any]:
         # The key caches are pure memoization (dropping them skips no
@@ -151,6 +219,7 @@ class BTreeFile:
         state = self.__dict__.copy()
         state["_leaf_key_cache"] = {}
         state["_sep_cache"] = {}
+        state["_ids"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -191,41 +260,46 @@ class BTreeFile:
             raise StorageError("bulk_load on non-empty btree %r" % self.name)
         if not 0.1 <= fill_factor <= 1.0:
             raise ValueError("fill_factor must be in [0.1, 1.0]")
-        keys = [self._key(r) for r in records]
+        key_index = self._key_index
+        keys = [r[key_index] for r in records]
         if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
             raise StorageError("bulk_load input must be sorted by %r" % self.key_name)
         if self.unique and len(set(keys)) != len(keys):
             raise DuplicateKeyError("bulk_load input has duplicate keys")
 
         # --- leaves -----------------------------------------------------
+        validate = self.schema.validate
+        record_size = self.schema.record_size
+        codec = self.schema.codec
+        new_page = self.pool.new_page
+        meta = self._meta
         leaf_nos: List[int] = []
         leaf_first_keys: List[Any] = []
         page: Optional[Page] = None
-        budget = 0.0
+        slack = 0.0
         for record in records:
-            self.schema.validate(record)
-            size = self.schema.record_size(record)
-            if page is not None:
-                limit = (page.capacity - page.used_bytes) - (
-                    page.capacity * (1.0 - fill_factor)
-                )
-                if size + 2 > limit:
-                    page = None
+            validate(record)
+            size = record_size(record)
+            if page is not None and size + SLOT_BYTES > page.free_bytes - slack:
+                page = None
             if page is None:
-                page = self.pool.new_page(self.file_id)
+                page = new_page(self.file_id)
+                page.codec = codec
+                slack = page.capacity * (1.0 - fill_factor)
                 no = page.page_id.page_no
-                self._meta[no] = _NodeMeta(is_leaf=True)
+                meta[no] = _NodeMeta(is_leaf=True)
                 if leaf_nos:
-                    self._meta[leaf_nos[-1]].next_leaf = no
+                    meta[leaf_nos[-1]].next_leaf = no
                 leaf_nos.append(no)
-                leaf_first_keys.append(self._key(record))
+                leaf_first_keys.append(record[key_index])
             page.insert(record, size)
             self._num_records += 1
 
         if not leaf_nos:  # empty tree: single empty leaf as root
-            page = self.pool.new_page(self.file_id)
+            page = new_page(self.file_id)
+            page.codec = codec
             no = page.page_id.page_no
-            self._meta[no] = _NodeMeta(is_leaf=True)
+            meta[no] = _NodeMeta(is_leaf=True)
             leaf_nos = [no]
             leaf_first_keys = [None]
 
@@ -241,9 +315,9 @@ class BTreeFile:
             page = None
             for child_no, child_key in zip(level_nos, level_keys):
                 if page is None or not page.fits(INDEX_ENTRY_BYTES):
-                    page = self.pool.new_page(self.file_id)
+                    page = new_page(self.file_id)
                     no = page.page_id.page_no
-                    self._meta[no] = _NodeMeta(is_leaf=False)
+                    meta[no] = _NodeMeta(is_leaf=False)
                     parent_nos.append(no)
                     parent_keys.append(child_key)
                 page.insert((child_key, child_no), INDEX_ENTRY_BYTES)
@@ -251,10 +325,18 @@ class BTreeFile:
             level_keys = parent_keys
             self.height += 1
         self._root = level_nos[0]
+        self._ids = None  # the load grew the file
 
     # ------------------------------------------------------------------
     # navigation
     # ------------------------------------------------------------------
+    def _page_ids(self) -> List[PageId]:
+        """The file's ``PageId`` list, cached until the tree allocates."""
+        ids = self._ids
+        if ids is None:
+            ids = self._ids = self.pool.disk.page_ids(self.file_id)
+        return ids
+
     def _fetch(self, page_no: int) -> Page:
         return self.pool.fetch(PageId(self.file_id, page_no))
 
@@ -267,8 +349,11 @@ class BTreeFile:
         cached = self._leaf_key_cache.get(page_no)
         if cached is not None and cached[0] == page.version:
             return cached[1]
+        records = page.records
+        if records is None:
+            records = page._materialize()
         key_index = self._key_index
-        keys = [r[key_index] for r in page.records]
+        keys = [r[key_index] for r in records]
         self._leaf_key_cache[page_no] = (page.version, keys)
         return keys
 
@@ -277,7 +362,10 @@ class BTreeFile:
         cached = self._sep_cache.get(page_no)
         if cached is not None and cached[0] == page.version:
             return cached[1]
-        seps = [entry[0] for entry in page.records]
+        records = page.records
+        if records is None:
+            records = page._materialize()
+        seps = [entry[0] for entry in records]
         self._sep_cache[page_no] = (page.version, seps)
         return seps
 
@@ -298,31 +386,120 @@ class BTreeFile:
             path.append(node)
         return path
 
+    def _descend_leaf(self, key: Any, ids: List[PageId]) -> int:
+        """The leaf page number for ``key`` (identical touches to
+        :meth:`_descend`, without materializing the path list)."""
+        meta = self._meta
+        fetch = self.pool.fetch
+        sep_cache = self._sep_cache
+        bisect_right = bisect.bisect_right
+        node = self._root
+        while not meta[node].is_leaf:
+            page = fetch(ids[node])
+            cached = sep_cache.get(node)
+            if cached is not None and cached[0] == page.version:
+                seps = cached[1]
+            else:
+                seps = self._separators(page)
+            idx = bisect_right(seps, key) - 1
+            if idx < 0:
+                idx = 0
+            records = page.records
+            if records is None:
+                records = page._materialize()
+            node = records[idx][1]
+        return node
+
     def _find_leaf_slot(self, key: Any) -> Tuple[Optional[int], int]:
         """Leaf page and slot of the first record with key >= ``key``."""
         if self._root is None:
             return None, 0
-        leaf_no = self._descend(key)[-1]
-        page = self._fetch(leaf_no)
+        ids = self._page_ids()
+        leaf_no = self._descend_leaf(key, ids)
+        page = self.pool.fetch(ids[leaf_no])
         slot = bisect.bisect_left(self._leaf_keys(page), key)
         return leaf_no, slot
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
+    def _collect_matches(
+        self, leaf_no: int, key: Any, ids: List[PageId]
+    ) -> Tuple[List[Tuple[Any, ...]], Optional[int], int, bool]:
+        """Gather all records with ``key`` starting from ``leaf_no``.
+
+        Emulates the historical cursor loop (seek / current / advance)
+        **touch by touch**, collapsing runs of touches on the same
+        resident leaf into self-accounted hits under the pool's epoch
+        lease — the counters and eviction stream are bit-identical to the
+        cursor implementation, at a fraction of the Python overhead.
+
+        Returns ``(matches, match_leaf, match_slot, moved)`` where
+        ``match_leaf``/``match_slot`` locate the first match and ``moved``
+        reports whether the walk ever left ``leaf_no`` (which disqualifies
+        the ``update_field`` replay fast path).
+        """
+        pool = self.pool
+        stats = pool.stats
+        meta = self._meta
+        key_index = self._key_index
+        # The real leaf fetch of _find_leaf_slot, opening the lease.
+        frame = pool.fetch_frame(ids[leaf_no])
+        current_no = leaf_no
+        page = frame.page
+        records = page.records
+        if records is None:
+            records = page._materialize()
+        slot = bisect.bisect_left(self._leaf_keys(page), key)
+        page_no: Optional[int] = leaf_no
+        hits = 0
+        out: List[Tuple[Any, ...]] = []
+        match_leaf: Optional[int] = None
+        match_slot = 0
+        while True:
+            # _skip_to_valid: one touch per iteration, moving right past
+            # empty/exhausted leaves.
+            while page_no is not None:
+                if page_no == current_no:
+                    hits += 1
+                else:
+                    if hits:
+                        stats.hits += hits
+                        pool.epoch += hits
+                        hits = 0
+                    frame = pool.fetch_frame(ids[page_no])
+                    current_no = page_no
+                    page = frame.page
+                    records = page.records
+                    if records is None:
+                        records = page._materialize()
+                if slot < len(records):
+                    break
+                page_no = meta[page_no].next_leaf
+                slot = 0
+            if page_no is None:
+                break
+            # current(): one touch (same leaf by construction) + read.
+            hits += 1
+            record = records[slot]
+            if record[key_index] != key:
+                break
+            if not out:
+                match_leaf, match_slot = page_no, slot
+            out.append(record)
+            slot += 1  # advance()
+        if hits:
+            stats.hits += hits
+            pool.epoch += hits
+        return out, match_leaf, match_slot, current_no != leaf_no
+
     def lookup(self, key: Any) -> List[Tuple[Any, ...]]:
         """All records with exactly ``key`` (one element when unique)."""
         if self._root is None:
             return []
-        out: List[Tuple[Any, ...]] = []
-        cursor = BTreeCursor(self)
-        cursor.seek(key)
-        record = cursor.current()
-        while record is not None and self._key(record) == key:
-            out.append(record)
-            cursor.advance()
-            record = cursor.current()
-        return out
+        ids = self._page_ids()
+        leaf_no = self._descend_leaf(key, ids)
+        return self._collect_matches(leaf_no, key, ids)[0]
 
     def lookup_one(self, key: Any) -> Tuple[Any, ...]:
         """The unique record with ``key``; raises KeyNotFoundError."""
@@ -340,6 +517,9 @@ class BTreeFile:
         """Records with lo <= key <= hi (or < hi), in key order.
 
         ``None`` bounds are open; ``range_scan()`` is a full ordered scan.
+        Record batches are yielded page-at-a-time off the decoded list —
+        one pool touch per leaf, exactly as before, but no per-record
+        dispatch.
         """
         if self._root is None:
             return
@@ -349,19 +529,33 @@ class BTreeFile:
         else:
             page_no, slot = self._find_leaf_slot(lo)
         key_index = self._key_index
+        meta = self._meta
+        fetch = self.pool.fetch
         while page_no is not None:
-            page = self._fetch(page_no)
-            while slot < len(page):
-                record = page.get(slot)
-                key = record[key_index]
-                if hi is not None:
-                    if include_hi and key > hi:
+            # Re-check the ids cache each leaf: an insert interleaved with
+            # an open scan can split a leaf and grow the file.
+            ids = self._ids
+            if ids is None:
+                ids = self._page_ids()
+            page = fetch(ids[page_no])
+            records = page.records
+            if records is None:
+                records = page._materialize()
+            batch = records[slot:] if slot else records
+            if hi is None:
+                for record in batch:
+                    yield record
+            elif include_hi:
+                for record in batch:
+                    if record[key_index] > hi:
                         return
-                    if not include_hi and key >= hi:
+                    yield record
+            else:
+                for record in batch:
+                    if record[key_index] >= hi:
                         return
-                yield record
-                slot += 1
-            page_no = self._meta[page_no].next_leaf
+                    yield record
+            page_no = meta[page_no].next_leaf
             slot = 0
 
     def scan(self) -> Iterator[Tuple[Any, ...]]:
@@ -381,6 +575,8 @@ class BTreeFile:
         size = self.schema.record_size(record)
         if self._root is None:
             page = self.pool.new_page(self.file_id)
+            self._ids = None
+            page.codec = self.schema.codec
             no = page.page_id.page_no
             self._meta[no] = _NodeMeta(is_leaf=True)
             page.insert(record, size)
@@ -416,6 +612,8 @@ class BTreeFile:
         mid = len(records) // 2
         left, right = records[:mid], records[mid:]
         right_page = self.pool.new_page(self.file_id)
+        self._ids = None
+        right_page.codec = self.schema.codec
         right_no = right_page.page_id.page_no
         self._meta[right_no] = _NodeMeta(
             is_leaf=True, next_leaf=self._meta[leaf_no].next_leaf
@@ -432,6 +630,7 @@ class BTreeFile:
     def _insert_separator(self, path: List[int], sep: Any, child_no: int) -> None:
         if not path:  # splitting the root: grow a level
             new_root = self.pool.new_page(self.file_id)
+            self._ids = None
             no = new_root.page_id.page_no
             self._meta[no] = _NodeMeta(is_leaf=False)
             old_root = self._root
@@ -455,6 +654,7 @@ class BTreeFile:
         mid = len(entries) // 2
         left, right = entries[:mid], entries[mid:]
         right_page = self.pool.new_page(self.file_id)
+        self._ids = None
         right_no = right_page.page_id.page_no
         self._meta[right_no] = _NodeMeta(is_leaf=False)
         for e in left:
@@ -487,13 +687,55 @@ class BTreeFile:
         keys = self._leaf_keys(page)
         if slot >= len(keys) or keys[slot] != key:
             raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        old_version = page.version
         page.replace(slot, new_record, self.schema.record_size(new_record))
+        # Key-preserving replace: re-stamp the memoized key column.
+        cached = self._leaf_key_cache.get(page_no)
+        if cached is not None and cached[0] == old_version:
+            self._leaf_key_cache[page_no] = (page.version, cached[1])
         self.pool.mark_dirty(page.page_id)
 
     def update_field(self, key: Any, field_name: str, value: Any) -> Tuple[Any, ...]:
-        """Set one field of the record with ``key``; return the new record."""
-        record = self.lookup_one(key)
-        new_record = self.schema.replaced(record, field_name, value)
+        """Set one field of the record with ``key``; return the new record.
+
+        Fast path: the historical implementation performed a lookup and
+        then a second root-to-leaf descent (:meth:`update`).  When the
+        lookup never left the target leaf, the second descent re-touches
+        exactly the pages the lookup just touched, in the same order, with
+        no other pool operation in between — all hits of already-MRU-suffix
+        pages, so the LRU order and eviction stream are provably unchanged.
+        :meth:`BufferPool.replay_writable` collapses those ``height + 1``
+        touches into two counter bumps.  The guard ``capacity > height + 1``
+        keeps degenerate tiny pools (where the lookup itself could evict
+        part of the path) on the slow, literal path.
+        """
+        if self._root is None:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        ids = self._page_ids()
+        leaf_no = self._descend_leaf(key, ids)
+        out, match_leaf, match_slot, moved = self._collect_matches(leaf_no, key, ids)
+        if not out:
+            raise KeyNotFoundError("key %r not in btree %r" % (key, self.name))
+        schema = self.schema
+        index = schema.field_index(field_name)
+        # Only the incoming value needs validation — the other fields come
+        # straight off the page and were validated on insert.
+        schema.fields[index].validate(value)
+        if index == self._key_index and value != key:
+            raise StorageError("update must preserve the key")
+        old = out[0]
+        new_record = old[:index] + (value,) + old[index + 1:]
+        if not moved and match_leaf == leaf_no and self.pool.capacity > self.height + 1:
+            page = self.pool.replay_writable(ids[leaf_no], self.height + 1)
+            old_version = page.version
+            page.replace(match_slot, new_record, schema.record_size(new_record))
+            # The key column is unchanged (key-preserving update), so the
+            # memoized keys stay valid — re-stamp them with the bumped
+            # page version instead of rebuilding on the next probe.
+            cached = self._leaf_key_cache.get(leaf_no)
+            if cached is not None and cached[0] == old_version:
+                self._leaf_key_cache[leaf_no] = (page.version, cached[1])
+            return new_record
         self.update(key, new_record)
         return new_record
 

@@ -18,6 +18,27 @@ The pool is a straightforward pin-count LRU:
   measured queries only when a strategy semantically requires it; normally
   dirty pages age out naturally, which matches how the paper's update
   costs behave).
+
+Epoch-guarded leases
+--------------------
+
+The simulator's measured numbers depend on the exact order of pool
+operations (evictions are decided by LRU order, and the trace digests
+pin the physical access stream bit for bit), so hot paths cannot simply
+skip pool traffic.  What they *can* do is recognise the one re-touch
+that is provably free: re-fetching the page that was touched last.  If
+no pool operation happened in between, the page is still resident and
+still MRU, so the old code's ``fetch`` would count a hit and perform a
+no-op ``move_to_end`` — no eviction, no reordering, no I/O can occur.
+
+:attr:`epoch` makes "no pool operation happened in between" checkable in
+O(1): every touch (hit or miss), page installation, invalidation and
+clear bumps it.  A caller that remembers ``(frame, epoch)`` after a
+fetch may, while ``pool.epoch`` is unchanged, account further touches of
+that same page itself (``stats.hits += 1; pool.epoch += 1``) and reuse
+the frame directly.  The counters and the eviction behaviour remain
+bit-identical to calling :meth:`fetch`; only the Python-level overhead
+disappears.  The B-tree, heap and cursor hot paths all use this pattern.
 """
 
 from __future__ import annotations
@@ -33,11 +54,15 @@ from repro.storage.page import Page, PageId
 DEFAULT_BUFFER_PAGES = 100
 
 
-@dataclass
 class _Frame:
-    page: Page
-    dirty: bool = False
-    pins: int = 0
+    """One buffered page plus its bookkeeping bits."""
+
+    __slots__ = ("page", "dirty", "pins")
+
+    def __init__(self, page: Page, dirty: bool = False, pins: int = 0) -> None:
+        self.page = page
+        self.dirty = dirty
+        self.pins = pins
 
 
 @dataclass(frozen=True)
@@ -95,6 +120,8 @@ class PoolStats:
 
 class BufferStats:
     """Hit/miss/eviction counters for the pool."""
+
+    __slots__ = ("hits", "misses", "evictions", "dirty_evictions")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -166,17 +193,24 @@ class BufferPool:
         self._clock_ring: list = []
         self._clock_hand = 0
         self.stats = BufferStats()
+        #: Bumped on every operation that touches or changes pool state
+        #: (fetches, installs, invalidations, clears — including the
+        #: self-accounted lease re-touches).  A cached ``(frame, epoch)``
+        #: pair is reusable exactly while ``epoch`` is unchanged; see the
+        #: module docstring.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # core operations
     # ------------------------------------------------------------------
     def fetch(self, page_id: PageId, pin: bool = False) -> Page:
         """Return the page for ``page_id``, reading it on a miss."""
-        # Hottest path in the whole simulator (~1.6M calls per sweep at
-        # report scale) — the hit branch is inlined rather than routed
+        # Hottest path in the whole simulator (tens of millions of calls
+        # per sweep) — the hit branch is inlined rather than routed
         # through _touch()/_make_room().
         frames = self._frames
         frame = frames.get(page_id)
+        self.epoch += 1
         if frame is not None:
             self.stats.hits += 1
             if self._is_lru:
@@ -196,6 +230,35 @@ class BufferPool:
             frame.pins += 1
         return frame.page
 
+    def fetch_frame(self, page_id: PageId) -> _Frame:
+        """:meth:`fetch` returning the frame itself, for lease reuse.
+
+        Identical accounting to :meth:`fetch`.  The returned frame plus
+        the post-call :attr:`epoch` form a lease: while ``epoch`` is
+        unchanged the caller may self-account re-touches of this page
+        (``stats.hits += 1; epoch += 1``) and read ``frame.page`` /
+        set ``frame.dirty`` directly.
+        """
+        frames = self._frames
+        frame = frames.get(page_id)
+        self.epoch += 1
+        if frame is not None:
+            self.stats.hits += 1
+            if self._is_lru:
+                frames.move_to_end(page_id)
+            else:
+                self._referenced[page_id] = True
+        else:
+            self.stats.misses += 1
+            if len(frames) >= self.capacity:
+                if self._is_lru:
+                    self._evict_lru()
+                else:
+                    self._evict_clock()
+            frame = _Frame(self.disk.read_page(page_id))
+            self._install(page_id, frame)
+        return frame
+
     def writable(self, page_id: PageId, pin: bool = False) -> Page:
         """Fetch ``page_id`` with write intent (copy-on-write aware).
 
@@ -212,9 +275,46 @@ class BufferPool:
             self._frames[page_id].page = page
         return page
 
+    def replay_writable(self, page_id: PageId, touches: int) -> Page:
+        """Re-touch a just-written page ``touches`` times, write-intent.
+
+        Collapses a run of re-touches that the slow path would perform on
+        a page that is already MRU — e.g. ``update_field``'s second
+        root-to-leaf descent, which re-fetches the same index pages and
+        leaf in the same order with no other pool operation in between,
+        leaving the LRU order and residency exactly as they were.  Counts
+        ``touches`` logical hits (bit-identical to the slow path's
+        counters: every re-touch of a resident page is a hit), applies
+        copy-on-write if the page is frozen, and marks the frame dirty.
+
+        The caller must guarantee the collapsed touches would all have
+        been hits of already-resident pages in unchanged LRU order; the
+        B-tree guards its call sites accordingly.
+        """
+        frame = self._frames[page_id]
+        self.stats.hits += touches
+        self.epoch += touches
+        page = frame.page
+        if page.frozen:
+            page = self.disk.cow_page(page_id)
+            frame.page = page
+        frame.dirty = True
+        return page
+
+    def frame_of(self, page_id: PageId) -> _Frame:
+        """The resident frame for ``page_id``, WITHOUT accounting a touch.
+
+        Only for establishing a lease immediately after an operation that
+        already touched ``page_id`` (e.g. :meth:`new_page`): pair the
+        returned frame with the current :attr:`epoch`.  Raises ``KeyError``
+        if the page is not resident.
+        """
+        return self._frames[page_id]
+
     def new_page(self, file_id: int, pin: bool = False) -> Page:
         """Allocate a fresh page and install it dirty (no read charged)."""
         self._make_room()
+        self.epoch += 1
         page = self.disk.allocate_page(file_id)
         frame = _Frame(page, dirty=True)
         if pin:
@@ -265,6 +365,7 @@ class BufferPool:
         Used when a page is deallocated; its contents are garbage, so a
         write-back would charge I/O for data nobody can read again.
         """
+        self.epoch += 1
         if self._frames.pop(page_id, None) is not None:
             self._referenced.pop(page_id, None)
 
@@ -275,6 +376,7 @@ class BufferPool:
         discarded *without* write-back unless ``flush`` is requested,
         matching the free disposal of scratch data.
         """
+        self.epoch += 1
         victims = [pid for pid in self._frames if pid.file_id == file_id]
         for pid in victims:
             frame = self._frames.pop(pid)
@@ -284,6 +386,7 @@ class BufferPool:
 
     def clear(self, flush: bool = True) -> None:
         """Empty the pool (cold cache), optionally flushing dirty frames."""
+        self.epoch += 1
         if flush:
             self.flush_all()
         self._frames.clear()
@@ -315,12 +418,12 @@ class BufferPool:
     # ------------------------------------------------------------------
     def _install(self, page_id: PageId, frame: _Frame) -> None:
         self._frames[page_id] = frame
-        if self.policy == "clock":
+        if not self._is_lru:
             self._referenced[page_id] = True
             self._clock_ring.append(page_id)
 
     def _touch(self, page_id: PageId) -> None:
-        if self.policy == "lru":
+        if self._is_lru:
             self._frames.move_to_end(page_id)
         else:
             self._referenced[page_id] = True
@@ -328,7 +431,7 @@ class BufferPool:
     def _make_room(self) -> None:
         if len(self._frames) < self.capacity:
             return
-        if self.policy == "lru":
+        if self._is_lru:
             self._evict_lru()
         else:
             self._evict_clock()

@@ -66,6 +66,8 @@ class DiskManager:
         self.writes = 0
         self._file_reads: Dict[int, int] = {}
         self._file_writes: Dict[int, int] = {}
+        #: Per-file ``PageId`` list cache (see :meth:`page_ids`).
+        self._page_id_cache: Dict[int, List[PageId]] = {}
         #: Optional observer invoked as ``hook(kind, page_id)`` with kind in
         #: {"read", "write"}; used by tests and cost-attribution tools.
         self.io_hook: Optional[Callable[[str, PageId], None]] = None
@@ -88,6 +90,7 @@ class DiskManager:
         self._require_file(file_id)
         del self._files[file_id]
         del self._file_names[file_id]
+        self._page_id_cache.pop(file_id, None)
 
     def truncate_file(self, file_id: int) -> None:
         """Discard every page of ``file_id``, keeping the file itself."""
@@ -120,6 +123,26 @@ class DiskManager:
 
     def file_ids(self) -> Iterator[int]:
         return iter(self._files.keys())
+
+    def page_ids(self, file_id: int) -> List[PageId]:
+        """The ``PageId`` list of ``file_id`` (cached; do NOT mutate).
+
+        A file's page at index ``i`` is invariantly addressed by
+        ``PageId(file_id, i)`` — allocation only ever appends, and
+        :meth:`cow_page` swaps the page *object* while keeping its
+        address — so the list depends only on the file's length.  The
+        cache is rebuilt whenever the length changed (allocation,
+        truncate, shrink), which makes sequential scans allocate zero
+        ``PageId`` tuples in steady state.
+        """
+        pages = self._files.get(file_id)
+        if pages is None:
+            self._require_file(file_id)
+        ids = self._page_id_cache.get(file_id)
+        if ids is None or len(ids) != len(pages):
+            ids = [PageId(file_id, i) for i in range(len(pages))]
+            self._page_id_cache[file_id] = ids
+        return ids
 
     # ------------------------------------------------------------------
     # page I/O
@@ -178,6 +201,13 @@ class DiskManager:
         For tests and invariant checks only — never used on a query path.
         """
         return self._get(page_id)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The PageId cache is pure derived state; drop it so pickles (and
+        # snapshot deep-copies) stay lean and revive with a cold cache.
+        state = self.__dict__.copy()
+        state["_page_id_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # snapshot support

@@ -93,11 +93,21 @@ class HashFile:
     # ------------------------------------------------------------------
     def lookup(self, key: Any) -> Optional[Tuple[Any, ...]]:
         """The record with ``key`` or None; reads the bucket chain."""
-        for page_no in self._chain(self._bucket(key)):
-            page = self.pool.fetch(PageId(self.file_id, page_no))
-            for record in page:
-                if self._key(record) == key:
+        key_index = self._key_index
+        pool = self.pool
+        fetch = pool.fetch
+        ids = pool.disk.page_ids(self.file_id)
+        overflow_next = self._overflow_next
+        page_no: Optional[int] = self._bucket(key)
+        while page_no is not None:
+            page = fetch(ids[page_no])
+            records = page.records
+            if records is None:
+                records = page._materialize()
+            for record in records:
+                if record[key_index] == key:
                     return record
+            page_no = overflow_next.get(page_no)
         return None
 
     def contains(self, key: Any) -> bool:
@@ -108,12 +118,13 @@ class HashFile:
         self.schema.validate(record)
         key = self._key(record)
         size = self.schema.record_size(record)
+        key_index = self._key_index
         last = None
         for page_no in self._chain(self._bucket(key)):
             last = page_no
             page = self.pool.writable(PageId(self.file_id, page_no))
-            for existing in page:
-                if self._key(existing) == key:
+            for existing in page.record_batch():
+                if existing[key_index] == key:
                     raise DuplicateKeyError(
                         "key %r already in hash file %r" % (key, self.name)
                     )

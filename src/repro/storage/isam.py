@@ -40,6 +40,30 @@ class IsamIndex:
         self._overflow_next: Dict[int, int] = {}  # page_no -> overflow page_no
         self._num_entries = 0
         self._built = False
+        # Memoized per-page key columns, version-guarded like the B-tree's
+        # (pure computation — the page is still fetched through the pool).
+        self._key_cache: Dict[int, Tuple[int, List[Any]]] = {}
+        # Cached disk.page_ids() list (single-writer file; dropped on
+        # every page allocation, like the B-tree's).
+        self._ids: Optional[List[PageId]] = None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_key_cache"] = {}
+        state["_ids"] = None
+        return state
+
+    def _entry_keys(self, page: Any) -> List[Any]:
+        page_no = page.page_id.page_no
+        cached = self._key_cache.get(page_no)
+        if cached is not None and cached[0] == page.version:
+            return cached[1]
+        records = page.records
+        if records is None:
+            records = page._materialize()
+        keys = [e[0] for e in records]
+        self._key_cache[page_no] = (page.version, keys)
+        return keys
 
     # ------------------------------------------------------------------
     @property
@@ -61,6 +85,7 @@ class IsamIndex:
         for entry in entries:
             if page is None or not page.fits(ISAM_ENTRY_BYTES):
                 page = self.pool.new_page(self.file_id)
+                self._ids = None
                 self._primary_nos.append(page.page_id.page_no)
                 self._directory.append(entry[0])
             page.insert(entry, ISAM_ENTRY_BYTES)
@@ -93,15 +118,29 @@ class IsamIndex:
 
     def get(self, key: Any, default: Any = None) -> Any:
         """Payload for ``key`` or ``default``."""
-        start = self._covering_primary(key)
-        if start is None:
+        directory = self._directory
+        if not directory:
             return default
-        for page_no in self._chain(start):
-            page = self.pool.fetch(PageId(self.file_id, page_no))
-            entry_keys = [e[0] for e in page.records]
+        idx = bisect.bisect_right(directory, key) - 1
+        if idx < 0:
+            idx = 0
+        page_no: Optional[int] = self._primary_nos[idx]
+        pool = self.pool
+        fetch = pool.fetch
+        ids = self._ids
+        if ids is None:
+            ids = self._ids = pool.disk.page_ids(self.file_id)
+        overflow_next = self._overflow_next
+        while page_no is not None:
+            page = fetch(ids[page_no])
+            entry_keys = self._entry_keys(page)
             slot = bisect.bisect_left(entry_keys, key)
             if slot < len(entry_keys) and entry_keys[slot] == key:
-                return page.get(slot)[1]
+                records = page.records
+                if records is None:
+                    records = page._materialize()
+                return records[slot][1]
+            page_no = overflow_next.get(page_no)
         return default
 
     def insert(self, key: Any, payload: Any) -> None:
@@ -118,13 +157,14 @@ class IsamIndex:
             last = page_no
             page = self.pool.writable(PageId(self.file_id, page_no))
             if page.fits(ISAM_ENTRY_BYTES):
-                entry_keys = [e[0] for e in page.records]
+                entry_keys = self._entry_keys(page)
                 slot = bisect.bisect_left(entry_keys, key)
                 page.insert_at(slot, (key, payload), ISAM_ENTRY_BYTES)
                 self.pool.mark_dirty(page.page_id)
                 self._num_entries += 1
                 return
         overflow = self.pool.new_page(self.file_id)
+        self._ids = None
         overflow.insert((key, payload), ISAM_ENTRY_BYTES)
         self._overflow_next[last] = overflow.page_id.page_no
         self._num_entries += 1
@@ -135,7 +175,7 @@ class IsamIndex:
             chain_entries: List[Tuple[Any, Any]] = []
             for page_no in self._chain(start):
                 page = self.pool.fetch(PageId(self.file_id, page_no))
-                chain_entries.extend(page.records)
+                chain_entries.extend(page.record_batch())
             chain_entries.sort(key=lambda e: e[0])
             for entry in chain_entries:
                 yield entry

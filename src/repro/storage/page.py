@@ -4,9 +4,25 @@ The simulator's unit of I/O is the page, as in INGRES.  A page holds whole
 records and enforces a byte budget: the record layer computes each record's
 on-page size (including blank compression of character fields, see
 :mod:`repro.storage.record`) and :meth:`Page.insert` refuses records that
-would overflow the page.  Records are kept as decoded Python tuples — the
-paper's yardstick is the *number* of page I/Os, which depends only on how
-many records fit per page, not on actual byte encodings.
+would overflow the page.
+
+Records live in two forms:
+
+* the **decoded form** — a list of Python tuples, the working
+  representation every hot path operates on (the paper's yardstick is the
+  *number* of page I/Os, which depends only on how many records fit per
+  page, so query processing never needs bytes);
+* the **slotted byte form** — a compact ``bytes`` image produced by the
+  schema's precompiled :class:`~repro.storage.record.RecordCodec`
+  (``struct``-based, offset slot table, variable-length payloads).  Frozen
+  pages serialise as bytes (database snapshots shrink and pickle faster)
+  and decode **lazily**: a page revived from a snapshot stays byte-only
+  until something actually reads it.
+
+Setting ``REPRO_TUPLE_PAGES=1`` disables the byte form entirely (see
+:data:`repro.storage.record.TUPLE_PAGES_ONLY`) — the debug fallback that
+keeps every page in decoded-tuple form, exactly like the pre-rewrite
+engine.
 
 ``DEFAULT_PAGE_SIZE`` is 2048 bytes, the INGRES 5.0 data-page size used in
 the paper's experiments; ``PAGE_HEADER_BYTES`` models the page header and
@@ -36,24 +52,33 @@ class PageId(NamedTuple):
     def __str__(self) -> str:
         return "page(%d:%d)" % (self.file_id, self.page_no)
 
+    def __deepcopy__(self, memo: dict) -> "PageId":
+        # Immutable pair of ints; snapshot attach deep-copies thousands
+        # of these per clone, so skip the per-element descent.
+        return self
+
 
 class Page:
     """A fixed-capacity container of records.
 
-    The page tracks ``used_bytes`` so access methods can make the same
-    fit/overflow decisions a byte-oriented storage engine would.  Slots are
-    stable only until a delete; access methods that need stable record
-    addresses (the B-tree, which is static after bulk load) never delete.
+    The page tracks ``used_bytes`` (and its O(1) complement
+    ``free_bytes``) so access methods can make the same fit/overflow
+    decisions a byte-oriented storage engine would.  Slots are stable
+    only until a delete; access methods that need stable record addresses
+    (the B-tree, which is static after bulk load) never delete.
     """
 
     __slots__ = (
         "page_id",
         "capacity",
         "used_bytes",
+        "free_bytes",
         "records",
         "_sizes",
         "version",
         "frozen",
+        "codec",
+        "_buf",
     )
 
     def __init__(self, page_id: PageId, capacity: int = DEFAULT_PAGE_SIZE) -> None:
@@ -62,8 +87,11 @@ class Page:
         self.page_id = page_id
         self.capacity = capacity
         self.used_bytes = PAGE_HEADER_BYTES
-        self.records: List[Any] = []
-        self._sizes: List[int] = []
+        #: Maintained incrementally on every mutation so the per-insert
+        #: fit check is a single integer compare, never a re-derivation.
+        self.free_bytes = capacity - PAGE_HEADER_BYTES
+        self.records: Optional[List[Any]] = []
+        self._sizes: Optional[List[int]] = []
         #: Bumped on every mutation; lets access methods cache derived
         #: views of a page (e.g. the B-tree's key column) safely.
         self.version = 0
@@ -72,9 +100,15 @@ class Page:
         #: a private copy (:meth:`copy`, arranged by the buffer pool's
         #: copy-on-write path).
         self.frozen = False
+        #: The schema's byte codec, when every field is codec-capable
+        #: (attached by the owning access method at allocation time);
+        #: ``None`` keeps the page tuple-only (blob pages, index pages).
+        self.codec: Optional[Any] = None
+        #: Cached slotted byte image; only valid while ``frozen``.
+        self._buf: Optional[bytes] = None
 
     # ------------------------------------------------------------------
-    # snapshot support
+    # snapshot / byte-form support
     # ------------------------------------------------------------------
     def freeze(self) -> None:
         """Seal the page for snapshot sharing (mutators will refuse)."""
@@ -88,15 +122,106 @@ class Page:
         original's, byte for byte.  Records are immutable tuples and are
         shared, not copied.
         """
+        if self.records is None:
+            self._materialize()
         dup = Page.__new__(Page)
         dup.page_id = self.page_id
         dup.capacity = self.capacity
         dup.used_bytes = self.used_bytes
-        dup.records = list(self.records)
-        dup._sizes = list(self._sizes)
+        dup.free_bytes = self.free_bytes
+        dup.records = list(self.records)  # type: ignore[arg-type]
+        dup._sizes = list(self._sizes)  # type: ignore[arg-type]
         dup.version = self.version
         dup.frozen = False
+        dup.codec = self.codec
+        dup._buf = None
         return dup
+
+    def _materialize(self) -> List[Any]:
+        """Decode the byte image into the working tuple form (lazy)."""
+        assert self.codec is not None and self._buf is not None
+        records = self.codec.decode(self._buf)
+        record_size = self.codec.schema.record_size
+        self.records = records
+        self._sizes = [record_size(r) for r in records]
+        return records
+
+    def iter_records(self) -> Iterator[Any]:
+        """Iterate the page's records as one decoded batch.
+
+        This is the batched-consumption entry point: one call per page,
+        then plain list iteration — no per-record method dispatch.
+        """
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        return iter(records)
+
+    def record_batch(self) -> List[Any]:
+        """The decoded record list itself (callers must not mutate it)."""
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        return records
+
+    def to_bytes(self) -> bytes:
+        """The slotted byte image of the page (requires a codec).
+
+        Frozen pages cache the encoding — they can never change again —
+        which is what makes snapshot pickling pay the encoding cost at
+        most once per page.
+        """
+        if self.codec is None:
+            raise ValueError("page %s has no codec" % (self.page_id,))
+        if self._buf is not None:
+            return self._buf
+        buf = self.codec.encode(self.record_batch())
+        if self.frozen:
+            self._buf = buf
+        return buf
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        # Frozen pages with a codec serialise as their slotted byte image
+        # (compact, and decoded lazily on first read after unpickling);
+        # everything else carries the decoded lists.  ``used_bytes`` /
+        # ``free_bytes`` / ``version`` travel explicitly so fit decisions
+        # and derived-view caches are bit-identical across the round trip.
+        if self.frozen and self.codec is not None:
+            payload: Any = self.to_bytes()
+            encoded = True
+        else:
+            payload = (self.records, self._sizes)
+            encoded = False
+        return (
+            self.page_id,
+            self.capacity,
+            self.used_bytes,
+            self.version,
+            self.frozen,
+            self.codec,
+            encoded,
+            payload,
+        )
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        (
+            self.page_id,
+            self.capacity,
+            self.used_bytes,
+            self.version,
+            self.frozen,
+            self.codec,
+            encoded,
+            payload,
+        ) = state
+        self.free_bytes = self.capacity - self.used_bytes
+        if encoded:
+            self.records = None
+            self._sizes = None
+            self._buf = payload
+        else:
+            self.records, self._sizes = payload
+            self._buf = None
 
     def _require_mutable(self) -> None:
         if self.frozen:
@@ -107,10 +232,6 @@ class Page:
     # ------------------------------------------------------------------
     # capacity & mutation
     # ------------------------------------------------------------------
-    @property
-    def free_bytes(self) -> int:
-        return self.capacity - self.used_bytes
-
     def fits(self, record_size: int) -> bool:
         """Whether a record of ``record_size`` bytes can be inserted."""
         return record_size + SLOT_BYTES <= self.free_bytes
@@ -123,30 +244,40 @@ class Page:
         exception guards against accounting bugs.
         """
         self._require_mutable()
-        if not self.fits(record_size):
+        total = record_size + SLOT_BYTES
+        if total > self.free_bytes:
             raise PageFullError(
                 "record of %d bytes does not fit in %d free bytes on %s"
                 % (record_size, self.free_bytes, self.page_id)
             )
-        self.records.append(record)
-        self._sizes.append(record_size)
-        self.used_bytes += record_size + SLOT_BYTES
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        records.append(record)
+        self._sizes.append(record_size)  # type: ignore[union-attr]
+        self.used_bytes += total
+        self.free_bytes -= total
         self.version += 1
-        return len(self.records) - 1
+        return len(records) - 1
 
     def insert_at(self, slot: int, record: Any, record_size: int) -> None:
         """Insert ``record`` at ``slot``, shifting later slots right."""
         self._require_mutable()
-        if not self.fits(record_size):
+        total = record_size + SLOT_BYTES
+        if total > self.free_bytes:
             raise PageFullError(
                 "record of %d bytes does not fit in %d free bytes on %s"
                 % (record_size, self.free_bytes, self.page_id)
             )
-        if not 0 <= slot <= len(self.records):
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        if not 0 <= slot <= len(records):
             raise IndexError("slot %d out of range" % slot)
-        self.records.insert(slot, record)
-        self._sizes.insert(slot, record_size)
-        self.used_bytes += record_size + SLOT_BYTES
+        records.insert(slot, record)
+        self._sizes.insert(slot, record_size)  # type: ignore[union-attr]
+        self.used_bytes += total
+        self.free_bytes -= total
         self.version += 1
 
     def replace(self, slot: int, record: Any, record_size: Optional[int] = None) -> None:
@@ -158,24 +289,32 @@ class Page:
         modifications, so this path is exercised only by tests).
         """
         self._require_mutable()
-        old_size = self._sizes[slot]
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        old_size = self._sizes[slot]  # type: ignore[index]
         new_size = old_size if record_size is None else record_size
         growth = new_size - old_size
         if growth > self.free_bytes:
             raise PageFullError(
                 "in-place growth of %d bytes does not fit on %s" % (growth, self.page_id)
             )
-        self.records[slot] = record
-        self._sizes[slot] = new_size
+        records[slot] = record
+        self._sizes[slot] = new_size  # type: ignore[index]
         self.used_bytes += growth
+        self.free_bytes -= growth
         self.version += 1
 
     def delete(self, slot: int) -> Any:
         """Remove and return the record in ``slot`` (compacting the page)."""
         self._require_mutable()
-        record = self.records.pop(slot)
-        size = self._sizes.pop(slot)
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        record = records.pop(slot)
+        size = self._sizes.pop(slot)  # type: ignore[union-attr]
         self.used_bytes -= size + SLOT_BYTES
+        self.free_bytes += size + SLOT_BYTES
         self.version += 1
         return record
 
@@ -183,9 +322,12 @@ class Page:
         """Remove and return every record (used when rebuilding pages)."""
         self._require_mutable()
         records = self.records
+        if records is None:
+            records = self._materialize()
         self.records = []
         self._sizes = []
         self.used_bytes = PAGE_HEADER_BYTES
+        self.free_bytes = self.capacity - PAGE_HEADER_BYTES
         self.version += 1
         return records
 
@@ -193,25 +335,33 @@ class Page:
     # access
     # ------------------------------------------------------------------
     def get(self, slot: int) -> Any:
-        return self.records[slot]
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        return records[slot]
 
     def record_size(self, slot: int) -> int:
-        return self._sizes[slot]
+        if self._sizes is None:
+            self._materialize()
+        return self._sizes[slot]  # type: ignore[index]
 
     def __len__(self) -> int:
-        return len(self.records)
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        return len(records)
 
     def __iter__(self) -> Iterator[Any]:
-        return iter(self.records)
+        return self.iter_records()
 
     def entries(self) -> Iterator[Tuple[int, Any]]:
         """Iterate ``(slot, record)`` pairs."""
-        return enumerate(self.records)
+        return enumerate(self.record_batch())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "Page(%s, %d records, %d/%d bytes)" % (
             self.page_id,
-            len(self.records),
+            len(self),
             self.used_bytes,
             self.capacity,
         )

@@ -21,9 +21,18 @@ Records themselves are plain tuples, positionally matched to the schema.
 from __future__ import annotations
 
 import operator
+import os
+import struct
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RecordError
+
+#: Debug fallback: set ``REPRO_TUPLE_PAGES=1`` to disable the slotted
+#: byte codecs entirely.  Every page then keeps its records as decoded
+#: tuples only (the pre-rewrite representation) — byte layout, snapshot
+#: compaction and codec round-trips are all bypassed.  Measured numbers
+#: are identical either way; this exists to bisect codec bugs.
+TUPLE_PAGES_ONLY = bool(os.environ.get("REPRO_TUPLE_PAGES"))
 
 #: Bytes one OID occupies inside a character-encoded OID list (relation
 #: identifier + primary key + separator, cf. Section 2.2 of the paper).
@@ -68,6 +77,8 @@ class IntField(Field):
         return INT_BYTES
 
     def validate(self, value: Any) -> None:
+        if type(value) is int:
+            return
         if not isinstance(value, int) or isinstance(value, bool):
             raise RecordError("field %r expects int, got %r" % (self.name, value))
 
@@ -95,6 +106,8 @@ class CharField(Field):
         return min(len(value), self.width) + CHAR_OVERHEAD
 
     def validate(self, value: Any) -> None:
+        if type(value) is str and len(value) <= self.width:
+            return
         if not isinstance(value, str):
             raise RecordError("field %r expects str, got %r" % (self.name, value))
         if len(value) > self.width:
@@ -122,6 +135,9 @@ class OidListField(Field):
         return len(value) * OID_CHARS + CHAR_OVERHEAD
 
     def validate(self, value: Any) -> None:
+        kind = type(value)
+        if (kind is list or kind is tuple) and len(value) <= self.max_oids:
+            return
         if isinstance(value, (str, bytes)) or not isinstance(value, (list, tuple)):
             raise RecordError(
                 "field %r expects a list/tuple of OIDs, got %r" % (self.name, value)
@@ -160,6 +176,143 @@ class BlobField(Field):
             )
 
 
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_OID_PAIR = struct.Struct("<qq")
+
+
+class RecordCodec:
+    """Precompiled slotted-page byte codec for one schema.
+
+    :meth:`encode` lays records out as ``[count][offset table][payload]``
+    — a classic slotted page: a ``u32`` record count, one ``u32`` payload
+    offset per record (the line table), then the variable-length record
+    payloads.  :meth:`decode` walks the payload with
+    ``struct.unpack_from`` directly against the buffer (no per-field
+    slicing), reconstructing the identical Python tuples.
+
+    Field encodings:
+
+    * :class:`IntField` — 8-byte little-endian signed int (wider than the
+      4 bytes the *accounting* charges; the byte image is the simulator's
+      own physical format, while on-page size accounting keeps modelling
+      INGRES's — the two are deliberately independent);
+    * :class:`CharField` — ``u16`` byte length + UTF-8 payload (blank
+      compression falls out naturally: short values take few bytes);
+    * :class:`OidListField` — container tag (list/tuple) + ``u16`` count
+      + ``(rel, key)`` int pairs, reconstructed as
+      :class:`repro.core.oid.Oid` values.
+
+    Schemas containing :class:`BlobField` (payload size is an arbitrary
+    callable over arbitrary objects) have no codec; their pages stay in
+    decoded-tuple form.
+    """
+
+    __slots__ = ("schema", "_codes")
+
+    #: Field-type tags used in the compiled plan.
+    _INT, _CHAR, _OIDS = 0, 1, 2
+
+    def __init__(self, schema: "Schema") -> None:
+        self.schema = schema
+        self._compile()
+
+    def _compile(self) -> None:
+        codes: List[int] = []
+        for field in self.schema.fields:
+            if isinstance(field, IntField):
+                codes.append(self._INT)
+            elif isinstance(field, CharField):
+                codes.append(self._CHAR)
+            elif isinstance(field, OidListField):
+                codes.append(self._OIDS)
+            else:
+                raise RecordError(
+                    "field %r (%s) is not byte-codable"
+                    % (field.name, type(field).__name__)
+                )
+        self._codes = tuple(codes)
+
+    # Struct objects are not picklable; carry only the schema and
+    # recompile on revival (snapshot store, sweep workers).
+    def __getstate__(self) -> "Schema":
+        return self.schema
+
+    def __setstate__(self, schema: "Schema") -> None:
+        self.schema = schema
+        self._compile()
+
+    # ------------------------------------------------------------------
+    def encode(self, records: Sequence[Tuple[Any, ...]]) -> bytes:
+        """The slotted byte image of ``records``."""
+        codes = self._codes
+        INT, CHAR = self._INT, self._CHAR
+        payloads: List[bytes] = []
+        offsets: List[int] = []
+        position = 0
+        for record in records:
+            offsets.append(position)
+            parts: List[bytes] = []
+            for code, value in zip(codes, record):
+                if code == INT:
+                    parts.append(_I64.pack(value))
+                elif code == CHAR:
+                    raw = value.encode("utf-8")
+                    parts.append(_U16.pack(len(raw)))
+                    parts.append(raw)
+                else:  # _OIDS
+                    parts.append(_U8.pack(1 if isinstance(value, list) else 0))
+                    parts.append(_U16.pack(len(value)))
+                    for oid in value:
+                        parts.append(_OID_PAIR.pack(oid[0], oid[1]))
+            encoded = b"".join(parts)
+            payloads.append(encoded)
+            position += len(encoded)
+        head = [_U32.pack(len(records))]
+        head.extend(_U32.pack(offset) for offset in offsets)
+        head.extend(payloads)
+        return b"".join(head)
+
+    def decode(self, buf: bytes) -> List[Tuple[Any, ...]]:
+        """The records of a byte image produced by :meth:`encode`."""
+        from repro.core.oid import Oid  # layering: core depends on storage
+
+        codes = self._codes
+        INT, CHAR = self._INT, self._CHAR
+        (count,) = _U32.unpack_from(buf, 0)
+        base = 4 + 4 * count
+        unpack_i64 = _I64.unpack_from
+        unpack_u16 = _U16.unpack_from
+        unpack_pair = _OID_PAIR.unpack_from
+        records: List[Tuple[Any, ...]] = []
+        position = base
+        for _ in range(count):
+            values: List[Any] = []
+            for code in codes:
+                if code == INT:
+                    values.append(unpack_i64(buf, position)[0])
+                    position += 8
+                elif code == CHAR:
+                    (length,) = unpack_u16(buf, position)
+                    position += 2
+                    values.append(buf[position:position + length].decode("utf-8"))
+                    position += length
+                else:  # _OIDS
+                    is_list = buf[position]
+                    (length,) = unpack_u16(buf, position + 1)
+                    position += 3
+                    oids = []
+                    for _ in range(length):
+                        rel, key = unpack_pair(buf, position)
+                        oids.append(Oid(rel, key))
+                        position += 16
+                    values.append(oids if is_list else tuple(oids))
+            records.append(tuple(values))
+        return records
+
+
 class Schema:
     """An ordered collection of fields; records are positional tuples."""
 
@@ -171,10 +324,31 @@ class Schema:
             raise RecordError("duplicate field names in schema: %r" % (names,))
         self.fields: Tuple[Field, ...] = tuple(fields)
         self._index = {f.name: i for i, f in enumerate(fields)}
+        #: Pre-bound per-field validate callables — :meth:`validate` runs
+        #: once per inserted record, so the attribute lookups add up.
+        self._validators: Tuple[Callable[[Any], None], ...] = tuple(
+            f.validate for f in self.fields
+        )
         self._projectors: Dict[Tuple[str, ...], Callable[[Sequence[Any]], Tuple[Any, ...]]] = {}
         sizes = [f.fixed_size for f in self.fields]
         self._fixed_record_size: Optional[int] = (
             sum(sizes) if all(s is not None for s in sizes) else None  # type: ignore[arg-type]
+        )
+        #: For variable-size schemas: the fixed-width byte total plus
+        #: pre-bound sizers for just the variable-width fields, so
+        #: :meth:`record_size` skips the fixed columns entirely (most
+        #: schemas are a run of ints plus one char/oid-list field).
+        self._fixed_base: int = sum(s for s in sizes if s is not None)
+        self._var_sizers: Tuple[Tuple[int, Callable[[Any], int]], ...] = tuple(
+            (i, f.size_of) for i, f in enumerate(self.fields) if f.fixed_size is None
+        )
+        codable = all(
+            isinstance(f, (IntField, CharField, OidListField)) for f in self.fields
+        )
+        #: The schema's byte codec (None for blob schemas or under the
+        #: ``REPRO_TUPLE_PAGES`` debug fallback).
+        self.codec: Optional[RecordCodec] = (
+            RecordCodec(self) if codable and not TUPLE_PAGES_ONLY else None
         )
 
     # ------------------------------------------------------------------
@@ -197,19 +371,24 @@ class Schema:
     # ------------------------------------------------------------------
     def validate(self, record: Sequence[Any]) -> None:
         """Check arity and per-field types/widths; raise RecordError."""
-        if len(record) != len(self.fields):
+        validators = self._validators
+        if len(record) != len(validators):
             raise RecordError(
                 "record arity %d does not match schema arity %d"
                 % (len(record), len(self.fields))
             )
-        for field, value in zip(self.fields, record):
-            field.validate(value)
+        for validator, value in zip(validators, record):
+            validator(value)
 
     def record_size(self, record: Sequence[Any]) -> int:
         """Bytes the record occupies on a page (excluding the slot entry)."""
-        if self._fixed_record_size is not None:
-            return self._fixed_record_size
-        return sum(field.size_of(value) for field, value in zip(self.fields, record))
+        fixed = self._fixed_record_size
+        if fixed is not None:
+            return fixed
+        size = self._fixed_base
+        for index, size_of in self._var_sizers:
+            size += size_of(record[index])
+        return size
 
     def value(self, record: Sequence[Any], name: str) -> Any:
         """Extract field ``name`` from ``record``."""
@@ -254,10 +433,27 @@ class Schema:
     def __getstate__(self) -> Dict[str, Any]:
         # Compiled projectors may close over local state; drop them so
         # schemas pickle (snapshot store) and deep-copy (snapshot attach)
-        # cleanly — they are rebuilt lazily on first use.
+        # cleanly — they are rebuilt lazily on first use.  The codec is
+        # dropped too: carrying it would create a Schema <-> RecordCodec
+        # reference cycle that pickle revives in an arbitrary order.
         state = self.__dict__.copy()
         state["_projectors"] = {}
+        state["codec"] = None
+        state.pop("_validators", None)
+        state.pop("_var_sizers", None)
         return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._validators = tuple(f.validate for f in self.fields)
+        self._var_sizers = tuple(
+            (i, f.size_of) for i, f in enumerate(self.fields) if f.fixed_size is None
+        )
+        codable = all(
+            isinstance(f, (IntField, CharField, OidListField)) for f in self.fields
+        )
+        if codable and not TUPLE_PAGES_ONLY:
+            self.codec = RecordCodec(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "Schema(%s)" % ", ".join(self.names())

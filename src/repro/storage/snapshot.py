@@ -12,11 +12,11 @@ This module provides the two pieces that make reuse cheap and safe:
 * :class:`Snapshot` — a built database frozen into an immutable
   template: dirty frames flushed, counters zeroed, every page sealed
   (:meth:`repro.storage.page.Page.freeze`).  :meth:`Snapshot.attach`
-  returns a fully mutable clone in O(metadata): the Python-side
-  structures (catalog, B-tree sidecars, buffer pool, caches) are
-  deep-copied, but the pages — the bulk of a database — are *shared*
-  with the template.  The buffer pool's write path copies a shared page
-  the first time a clone dirties it
+  returns a fully mutable clone by unpickling a cached pickle of the
+  template — C-speed cloning of the Python-side structures (catalog,
+  B-tree sidecars, buffer pool, caches) and the compact page byte
+  images.  Clone pages stay frozen until first write: the buffer pool's
+  write path copies a page the first time a clone dirties it
   (:meth:`repro.storage.buffer.BufferPool.writable`), so clones never
   observe each other's updates and the template is never modified.
 
@@ -56,6 +56,10 @@ class Snapshot:
 
     def __init__(self, db: Any) -> None:
         self._db = db
+        # Lazily-built pickle of the template: attach() clones by
+        # unpickling (C-speed), and snapshots revived from the store keep
+        # the verified blob so they never re-pickle.
+        self._blob: Optional[bytes] = None
 
     @classmethod
     def freeze(cls, db: Any) -> "Snapshot":
@@ -74,7 +78,14 @@ class Snapshot:
         Seeding the deepcopy memo with every page maps each page to
         itself, so the copy descends through all Python-side metadata but
         stops at page boundaries — O(#files + #pages) pointer work, not
-        O(bytes).
+        O(bytes).  Page sharing also shares each page's lazily *decoded*
+        record list across all clones: the first clone to touch a page
+        pays the byte decode, every later clone reads the records for
+        free.  (A pickle-round-trip clone benchmarks faster in isolation
+        but loses that shared decode cache, and re-decoding per clone
+        costs more than the deepcopy saves.)  Immutable building blocks
+        (schemas, units, ``PageId``/``Oid`` tuples) short-circuit the
+        descent via ``__deepcopy__`` returning ``self``.
         """
         disk = self._db.disk
         memo: Dict[int, Any] = {
@@ -83,11 +94,18 @@ class Snapshot:
         return copy.deepcopy(self._db, memo)
 
     def to_bytes(self) -> bytes:
-        return pickle.dumps(self._db, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = self._blob
+        if blob is None:
+            blob = self._blob = pickle.dumps(
+                self._db, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return blob
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Snapshot":
-        return cls(pickle.loads(blob))
+        snapshot = cls(pickle.loads(blob))
+        snapshot._blob = blob
+        return snapshot
 
 
 class SnapshotStore:

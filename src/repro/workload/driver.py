@@ -179,23 +179,33 @@ def _run_measured(
     updates = 0
     retrieve_io = 0
     update_io = 0
+    # Per-op accounting kernel: raw integer reads of the disk counters
+    # (no IoSnapshot allocations) with the dispatch targets hoisted —
+    # this loop brackets every measured query in every sweep point.
+    disk = db.disk
+    pool = db.pool
+    do_retrieve = strategy.retrieve
+    do_update = strategy.update
+    add_retrieve = per_retrieve.add
     for index, op in enumerate(sequence):
-        if cold_retrieves and isinstance(op, RetrieveQuery):
-            db.pool.clear(flush=True)
-        before = db.disk.snapshot()
-        if isinstance(op, RetrieveQuery):
+        is_retrieve = isinstance(op, RetrieveQuery)
+        if is_retrieve:
+            if cold_retrieves:
+                pool.clear(flush=True)
+            before = disk.reads + disk.writes
             if tracer is not None:
                 tracer.begin_op("retrieve", index)
-            strategy.retrieve(db, op, meter)
-            delta = (db.disk.snapshot() - before).total
-            per_retrieve.add(delta)
+            do_retrieve(db, op, meter)
+            delta = disk.reads + disk.writes - before
+            add_retrieve(delta)
             retrieve_io += delta
             retrieves += 1
         elif isinstance(op, UpdateQuery):
+            before = disk.reads + disk.writes
             if tracer is not None:
                 tracer.begin_op("update", index)
-            strategy.update(db, op, meter)
-            update_io += (db.disk.snapshot() - before).total
+            do_update(db, op, meter)
+            update_io += disk.reads + disk.writes - before
             updates += 1
         else:
             raise TypeError("unknown operation %r" % (op,))

@@ -1,0 +1,139 @@
+"""Regenerate the golden per-strategy trace digests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate_digests.py
+
+The output file, ``tests/golden/trace_digests.json``, pins the engine's
+*complete* observable behaviour per strategy: the SHA-256 digest of the
+physical page-access event stream, every cost number the driver reports,
+and the buffer pool's hit/miss/eviction counters.  Any storage-engine
+change that alters a measured number — even a single page access out of
+order — shows up as a digest mismatch in
+``tests/golden/test_trace_digests.py``.
+
+The file was first generated from the pre-rewrite (decoded-tuple pages,
+per-record iteration) engine, so it certifies that the zero-copy slotted
+page / batched iteration engine reproduces the original numbers bit for
+bit.  Only regenerate it when a change is *supposed* to alter measured
+behaviour, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.core.strategies.base import make_strategy
+from repro.obs import MetricsRegistry, Tracer
+from repro.workload.driver import run_sequence
+from repro.workload.generator import build_database
+from repro.workload.params import WorkloadParams
+from repro.workload.queries import generate_sequence
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "trace_digests.json")
+
+STRATEGIES = (
+    "DFS",
+    "BFS",
+    "BFSNODUP",
+    "DFSCACHE",
+    "DFSCACHE-INSIDE",
+    "DFSCLUST",
+    "SMART",
+    "OPT",
+    "PROC-EXEC",
+    "PROC-CACHE-OIDS",
+    "PROC-CACHE-VALUES",
+)
+
+#: (name, scale, overrides, run_sequence kwargs).  The three configs
+#: exercise the retrieve path, the update/invalidation path, and the
+#: cold-retrieve (Pr(UPDATE) -> 1) flush path; the tiny scaled buffer
+#: pool (8 frames at scale 0.05) keeps eviction decisions — the part of
+#: the engine most sensitive to access *order* — on a hair trigger.
+CONFIGS = (
+    ("retrieve", 0.05, {"num_queries": 120}, {}),
+    ("mixed", 0.05, {"num_queries": 120, "pr_update": 0.3}, {}),
+    ("cold", 0.05, {"num_queries": 24}, {"cold_retrieves": True}),
+)
+
+
+def database_for(params: WorkloadParams, name: str):
+    strategy = make_strategy(name)
+    procedural = name.startswith("PROC")
+    db = build_database(
+        params,
+        clustering=strategy.uses_clustering,
+        cache=procedural or (strategy.uses_cache and name != "DFSCACHE-INSIDE"),
+        procedural=procedural,
+    )
+    if name == "DFSCACHE-INSIDE":
+        db.enable_inside_cache(
+            params.size_cache,
+            unit_bytes_hint=params.size_unit * params.child_bytes,
+        )
+    return db, strategy
+
+
+def run_point(name: str, scale: float, overrides: dict, run_kwargs: dict) -> dict:
+    params = WorkloadParams().scaled(scale).replace(**overrides)
+    db, strategy = database_for(params, name)
+    sequence = generate_sequence(params, db)
+    tracer = Tracer(registry=MetricsRegistry(), keep_events=False)
+    report = run_sequence(db, strategy, sequence, tracer=tracer, **run_kwargs)
+    traced = report.traced
+    return {
+        "digest": traced["digest"],
+        "events": traced["events"],
+        "reads": traced["reads"],
+        "writes": traced["writes"],
+        "num_retrieves": report.num_retrieves,
+        "num_updates": report.num_updates,
+        "total_io": report.total_io,
+        "retrieve_io": report.retrieve_io,
+        "update_io": report.update_io,
+        "par_cost": report.par_cost,
+        "child_cost": report.child_cost,
+        "avg_io_per_retrieve": report.avg_io_per_retrieve,
+        "per_retrieve": report.per_retrieve,
+        "buffer_stats": report.buffer_stats,
+        "cache_stats": (
+            {
+                key: report.cache_stats[key]
+                for key in ("hits", "misses", "insertions", "evictions",
+                            "invalidations")
+            }
+            if report.cache_stats
+            else None
+        ),
+    }
+
+
+def generate() -> dict:
+    golden = {"configs": {}, "points": {}}
+    for label, scale, overrides, run_kwargs in CONFIGS:
+        golden["configs"][label] = {
+            "scale": scale,
+            "overrides": overrides,
+            "run_kwargs": run_kwargs,
+        }
+        for name in STRATEGIES:
+            key = "%s/%s" % (label, name)
+            golden["points"][key] = run_point(name, scale, overrides, run_kwargs)
+            sys.stderr.write("generated %s\n" % key)
+    return golden
+
+
+def main() -> int:
+    golden = generate()
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    sys.stderr.write("wrote %s (%d points)\n" % (GOLDEN_PATH, len(golden["points"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

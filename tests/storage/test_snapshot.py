@@ -129,11 +129,15 @@ class TestSnapshotAttach:
         rel_index, keys = db.unit_ref_of(db.fetch_parent(1))
         return rel_index, keys[0]
 
-    def test_clones_share_pages_until_written(self, snapshot):
+    def test_clone_pages_start_frozen_until_written(self, snapshot):
+        # Isolation between clones hinges on every clone page starting
+        # frozen: the first write goes through the pool's copy-on-write
+        # path instead of mutating state another clone can observe.
         one, two = snapshot.attach(), snapshot.attach()
         pages_one = [p for ps in one.disk._files.values() for p in ps]
         pages_two = [p for ps in two.disk._files.values() for p in ps]
-        assert all(a is b for a, b in zip(pages_one, pages_two))
+        assert pages_one and len(pages_one) == len(pages_two)
+        assert all(p.frozen for p in pages_one)
 
     def test_clone_mutation_is_invisible_to_other_clones(self, snapshot):
         one, two = snapshot.attach(), snapshot.attach()
