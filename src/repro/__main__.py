@@ -159,15 +159,43 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv += ["--max-retries", str(args.max_retries)]
     if args.point_timeout is not None:
         argv += ["--point-timeout", str(args.point_timeout)]
+    if args.live is True:
+        argv += ["--live"]
+    elif args.live is False:
+        argv += ["--no-live"]
+    if args.no_spans:
+        argv += ["--no-spans"]
+    if args.no_ledger:
+        argv += ["--no-ledger"]
     return _run_profiled(args, lambda: report_main(argv))
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.obs.perfcli import perf_flame, perf_trend
+
+    if args.action == "flame":
+        return perf_flame(
+            args.out,
+            pstats_path=args.pstats,
+            scale=args.scale,
+            strategy=args.strategy,
+            flame_out=args.flame_out,
+        )
+    return perf_trend(args.out, last=args.last, threshold=args.threshold)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import main as bench_main
 
-    argv: List[str] = ["--repeat", str(args.repeat), "--out", args.out]
+    argv: List[str] = [
+        "--repeat", str(args.repeat),
+        "--warmup", str(args.warmup),
+        "--out", args.out,
+    ]
     if args.only:
         argv += ["--only"] + args.only
+    if args.no_ledger:
+        argv += ["--no-ledger"]
     return bench_main(argv)
 
 
@@ -286,15 +314,28 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ("avg I/O per retrieve", round(report.avg_io_per_retrieve, 2)),
         ("event digest", summary["digest"][:16]),
     ]))
+    wall_ns = getattr(report, "wall_ns", None) or {}
     for title, field in (
         ("page kind", "by_kind"),
         ("phase", "by_phase"),
         ("stage", "by_stage"),
         ("relation", "by_relation"),
     ):
-        rows = [[name, count] for name, count in sorted(summary[field].items())]
         print()
-        print(format_table([title, "pages"], rows))
+        if field == "by_phase" and wall_ns:
+            # Simulated page counts next to real time, phase by phase:
+            # the wall column is the CostMeter's always-on per-phase
+            # clock, never part of the traced digest.
+            rows = [
+                [name, count, "%.1f" % (wall_ns.get(name, 0) / 1e6)]
+                for name, count in sorted(summary[field].items())
+            ]
+            print(format_table([title, "pages", "wall_ms"], rows))
+        else:
+            rows = [
+                [name, count] for name, count in sorted(summary[field].items())
+            ]
+            print(format_table([title, "pages"], rows))
     measured = summary["measured"]
     print()
     print(format_kv([
@@ -392,17 +433,63 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--profile", action="store_true",
                         help="run under cProfile; print the top 30 by "
                         "cumulative time and save OUT/profile-report.pstats")
+    report_live = report.add_mutually_exclusive_group()
+    report_live.add_argument("--live", dest="live", action="store_true",
+                             default=None,
+                             help="live sweep progress line on stderr "
+                             "(default: auto when stderr is a terminal)")
+    report_live.add_argument("--no-live", dest="live", action="store_false",
+                             help="suppress the live progress line")
+    report.add_argument("--no-spans", dest="no_spans", action="store_true",
+                        help="disable wall-clock span profiling (drops the "
+                        "ledger's span rollups; measured results are "
+                        "identical either way)")
+    report.add_argument("--no-ledger", dest="no_ledger", action="store_true",
+                        help="skip appending this run to OUT/ledger.jsonl")
     _add_policy_flags(report)
+
+    perf = sub.add_parser(
+        "perf",
+        help="render the run ledger: wall-time trends, regressions, span "
+        "percentiles; 'flame' exports collapsed stacks",
+    )
+    perf.add_argument("action", nargs="?", choices=("trend", "flame"),
+                      default="trend",
+                      help="trend (default): run history + per-experiment "
+                      "deltas + span rollups; flame: collapsed-stack export")
+    perf.add_argument("--out", default="results",
+                      help="results directory holding ledger.jsonl")
+    perf.add_argument("--last", type=int, default=10,
+                      help="report runs to show in the trend table")
+    perf.add_argument("--threshold", type=float, default=0.25,
+                      help="relative wall-time growth flagged as a "
+                      "regression (default 0.25 = +25%%)")
+    perf.add_argument("--pstats", default=None,
+                      help="flame: convert this --profile .pstats dump "
+                      "instead of running a span-profiled measurement")
+    perf.add_argument("--scale", type=float, default=0.05,
+                      help="flame: workload scale for the span-profiled run")
+    perf.add_argument("--strategy", default="BFS", choices=sorted(REGISTRY),
+                      help="flame: strategy for the span-profiled run")
+    perf.add_argument("--flame-out", dest="flame_out", default=None,
+                      help="flame: output path (default OUT/flame-*.txt)")
 
     bench = sub.add_parser(
         "bench", help="microbenchmark the storage/query hot paths"
     )
-    bench.add_argument("--repeat", type=int, default=3,
-                       help="timing repetitions per benchmark (best-of)")
+    bench.add_argument("--repeat", type=int, default=5,
+                       help="measured timing passes per benchmark "
+                       "(ns_per_op is min-of-k; p50/p95 come from all k)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="unmeasured leading passes per benchmark")
     bench.add_argument("--only", nargs="*",
                        help="run only the named benchmarks")
     bench.add_argument("--out", default="results",
-                       help="directory for BENCH_micro.json ('' disables)")
+                       help="directory for BENCH_micro.json and the run "
+                       "ledger ('' disables)")
+    bench.add_argument("--no-ledger", dest="no_ledger", action="store_true",
+                       help="skip appending a kind=micro record to "
+                       "OUT/ledger.jsonl")
 
     chaos = sub.add_parser(
         "chaos",
@@ -489,6 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dbcache": cmd_dbcache,
         "chaos": cmd_chaos,
         "bench": cmd_bench,
+        "perf": cmd_perf,
     }
     try:
         return handlers[args.command](args)

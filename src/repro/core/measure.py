@@ -17,6 +17,7 @@ Standard phase names (strategies may add others):
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Dict, Optional
 
 from repro.storage.disk import DiskManager, IoSnapshot
@@ -32,9 +33,15 @@ class _PhaseContext:
     Reads the disk's raw ``reads``/``writes`` integers directly instead
     of materialising :class:`IoSnapshot` objects on entry — the phase
     bracket runs once per measured query and showed up in profiles.
+
+    Each bracket also accumulates its wall-clock nanoseconds into
+    :attr:`CostMeter.wall_ns`, so simulated page counts and real time
+    are attributed to the same phases (``repro trace`` and
+    ``repro explain --measure`` print them side by side).  The clock
+    never feeds the I/O counters or the trace digests.
     """
 
-    __slots__ = ("meter", "name", "_reads", "_writes")
+    __slots__ = ("meter", "name", "_reads", "_writes", "_t0")
 
     def __init__(self, meter: "CostMeter", name: str) -> None:
         self.meter = meter
@@ -53,8 +60,10 @@ class _PhaseContext:
         disk = meter.disk
         self._reads = disk.reads
         self._writes = disk.writes
+        self._t0 = perf_counter_ns()
 
     def __exit__(self, *exc: object) -> None:
+        elapsed = perf_counter_ns() - self._t0
         meter = self.meter
         disk = meter.disk
         name = self.name
@@ -62,6 +71,8 @@ class _PhaseContext:
         phases = meter._phases
         accumulated = phases.get(name)
         phases[name] = delta if accumulated is None else accumulated + delta
+        wall = meter.wall_ns
+        wall[name] = wall.get(name, 0) + elapsed
         meter._active = None
         tracer = meter.tracer
         if tracer is not None:
@@ -96,6 +107,8 @@ class CostMeter:
         self.disk = disk
         self.tracer = tracer
         self._phases: Dict[str, IoSnapshot] = {}
+        #: Wall-clock nanoseconds accumulated per phase.
+        self.wall_ns: Dict[str, int] = {}
         self._active: Optional[str] = None
 
     def phase(self, name: str) -> _PhaseContext:
@@ -139,9 +152,12 @@ class CostMeter:
         """Fold another meter's accumulators into this one."""
         for name, snap in other._phases.items():
             self._phases[name] = self._phases.get(name, IoSnapshot()) + snap
+        for name, elapsed in other.wall_ns.items():
+            self.wall_ns[name] = self.wall_ns.get(name, 0) + elapsed
 
     def reset(self) -> None:
         self._phases.clear()
+        self.wall_ns.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         parts = ", ".join(
@@ -155,6 +171,7 @@ class NullMeter(CostMeter):
 
     def __init__(self) -> None:  # no disk needed
         self._phases = {}
+        self.wall_ns = {}
         self._active = None
 
     def phase(self, name: str) -> _NullPhase:

@@ -14,9 +14,17 @@ the four paths those experiments spend their time in, in isolation:
 * ``join_inner``      — the merge-probe join's coordinated forward walk
   over sorted probe keys, the inner loop of BFS.
 
-Each benchmark reports the best-of-``repeat`` wall time and a derived
-throughput, and the results land in ``BENCH_micro.json`` — the file the
-CI regression gate compares against its committed baseline.
+Timing is nanosecond-resolution (:func:`time.perf_counter_ns`) with
+``--warmup`` unmeasured leading passes: every benchmark reports
+``ns_per_op`` (min-of-``repeat``, the stable headline), plus
+``p50_ns_per_op``/``p95_ns_per_op`` over the measured passes — the p95
+is what the CI gate compares against its committed baseline
+(``benchmarks/BENCH_micro_baseline.json``), so a hot path that turns
+*erratic* fails the gate even when its best pass stays fast.  Legacy
+seconds/throughput fields are kept for older tooling.  Results land in
+``BENCH_micro.json`` and are appended to the run ledger
+(``results/ledger.jsonl``) as ``kind="micro"`` records, so ``repro
+perf`` shows the per-op trajectory next to the sweep wall times.
 
 The timed loops run real buffer-pool traffic, so the numbers move when
 the accounting hot path regresses, not just when the codecs do.
@@ -29,7 +37,7 @@ import json
 import os
 import platform
 import random
-import time
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.oid import Oid
@@ -37,6 +45,7 @@ from repro.query.join import merge_probe_join
 from repro.storage.catalog import Catalog
 from repro.storage.record import CharField, IntField, OidListField, Schema
 from repro.util.fingerprint import code_fingerprint
+from repro.util.stats import percentile
 
 #: ParentRel-shaped schema (Section 4 of the paper: ~200-byte tuples).
 PARENT_LIKE_SCHEMA = Schema(
@@ -84,23 +93,43 @@ def _child_record(key: int, rng: random.Random) -> Tuple[Any, ...]:
     )
 
 
-def _time_best(fn: Callable[[], Any], repeat: int) -> Tuple[float, Any]:
-    """Best-of-``repeat`` wall time of ``fn`` (and its last return value)."""
-    best = float("inf")
+def _time_ns(
+    fn: Callable[[], Any], repeat: int, warmup: int = 1
+) -> Tuple[List[int], Any]:
+    """Per-pass ``perf_counter_ns`` timings of ``fn``.
+
+    Runs ``warmup`` unmeasured leading passes (page decode caches,
+    branch predictors and the allocator all settle), then ``repeat``
+    measured passes.  Returns every measured pass time plus the last
+    return value — min-of-k and percentiles both come from the list.
+    """
     value = None
-    for _ in range(max(1, repeat)):
-        start = time.perf_counter()
+    for _ in range(max(0, warmup)):
         value = fn()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return best, value
+    times: List[int] = []
+    for _ in range(max(1, repeat)):
+        start = perf_counter_ns()
+        value = fn()
+        times.append(perf_counter_ns() - start)
+    return times, value
+
+
+def _op_fields(times_ns: List[int], ops: int) -> Dict[str, Any]:
+    """The canonical per-op summary of one benchmark's pass times."""
+    per_op = sorted(t / ops for t in times_ns)
+    return {
+        "ns_per_op": round(per_op[0], 1),
+        "p50_ns_per_op": round(percentile(per_op, 50), 1),
+        "p95_ns_per_op": round(percentile(per_op, 95), 1),
+    }
 
 
 # ----------------------------------------------------------------------
 # individual benchmarks
 # ----------------------------------------------------------------------
-def bench_codec_roundtrip(repeat: int, pages: int = 200) -> Dict[str, Any]:
+def bench_codec_roundtrip(
+    repeat: int, pages: int = 200, warmup: int = 1
+) -> Dict[str, Any]:
     """Encode + decode ``pages`` page images of ParentRel-shaped records."""
     codec = PARENT_LIKE_SCHEMA.codec
     if codec is None:  # REPRO_TUPLE_PAGES debug fallback
@@ -124,12 +153,16 @@ def bench_codec_roundtrip(repeat: int, pages: int = 200) -> Dict[str, Any]:
             total += len(codec.decode(buf))
         return total
 
-    encode_s, byte_total = _time_best(encode_all, repeat)
-    decode_s, record_total = _time_best(decode_all, repeat)
+    encode_times, byte_total = _time_ns(encode_all, repeat, warmup)
+    decode_times, _ = _time_ns(decode_all, repeat, warmup)
     decoded = codec.decode(encoded[0])
     if decoded != page_records[0]:
         raise AssertionError("codec round-trip mismatch in benchmark data")
-    return {
+    encode_s = min(encode_times) / 1e9
+    decode_s = min(decode_times) / 1e9
+    # One "op" is a full page round-trip: encode pass i + decode pass i.
+    roundtrip = [e + d for e, d in zip(encode_times, decode_times)]
+    result = {
         "pages": pages,
         "records": sum(len(r) for r in page_records),
         "encode_seconds": round(encode_s, 6),
@@ -138,9 +171,13 @@ def bench_codec_roundtrip(repeat: int, pages: int = 200) -> Dict[str, Any]:
         "decode_pages_per_second": round(pages / decode_s, 1),
         "bytes": byte_total,
     }
+    result.update(_op_fields(roundtrip, pages))
+    return result
 
 
-def bench_heap_scan(repeat: int, records: int = 20000) -> Dict[str, Any]:
+def bench_heap_scan(
+    repeat: int, records: int = 20000, warmup: int = 1
+) -> Dict[str, Any]:
     """Page-batched scan of a heap of ChildRel-shaped records."""
     catalog = Catalog(buffer_pages=4096)
     heap = catalog.create_heap("bench-heap", CHILD_LIKE_SCHEMA)
@@ -153,18 +190,23 @@ def bench_heap_scan(repeat: int, records: int = 20000) -> Dict[str, Any]:
             count += len(batch)
         return count
 
-    seconds, scanned = _time_best(scan_all, repeat)
+    times, scanned = _time_ns(scan_all, repeat, warmup)
     if scanned != records:
         raise AssertionError("heap scan lost records: %d != %d" % (scanned, records))
-    return {
+    seconds = min(times) / 1e9
+    result = {
         "records": records,
         "pages": heap.num_pages,
         "seconds": round(seconds, 6),
         "records_per_second": round(records / seconds, 1),
     }
+    result.update(_op_fields(times, records))
+    return result
 
 
-def bench_btree_probe(repeat: int, records: int = 20000, probes: int = 20000) -> Dict[str, Any]:
+def bench_btree_probe(
+    repeat: int, records: int = 20000, probes: int = 20000, warmup: int = 1
+) -> Dict[str, Any]:
     """Random lookups against a bulk-loaded B-tree (the DFS inner loop)."""
     catalog = Catalog(buffer_pages=4096)
     tree = catalog.create_btree("bench-btree", CHILD_LIKE_SCHEMA, "oid")
@@ -180,17 +222,22 @@ def bench_btree_probe(repeat: int, records: int = 20000, probes: int = 20000) ->
             count += 1
         return count
 
-    seconds, count = _time_best(probe_all, repeat)
-    return {
+    times, count = _time_ns(probe_all, repeat, warmup)
+    seconds = min(times) / 1e9
+    result = {
         "records": records,
         "probes": count,
         "height": tree.height,
         "seconds": round(seconds, 6),
         "probes_per_second": round(count / seconds, 1),
     }
+    result.update(_op_fields(times, probes))
+    return result
 
 
-def bench_join_inner(repeat: int, records: int = 20000, probes: int = 40000) -> Dict[str, Any]:
+def bench_join_inner(
+    repeat: int, records: int = 20000, probes: int = 40000, warmup: int = 1
+) -> Dict[str, Any]:
     """Merge-probe join of sorted keys against a B-tree (the BFS inner loop)."""
     catalog = Catalog(buffer_pages=4096)
     tree = catalog.create_btree("bench-join", CHILD_LIKE_SCHEMA, "oid")
@@ -204,19 +251,22 @@ def bench_join_inner(repeat: int, records: int = 20000, probes: int = 40000) -> 
             count += 1
         return count
 
-    seconds, matched = _time_best(join_all, repeat)
+    times, matched = _time_ns(join_all, repeat, warmup)
     if matched == 0:
         raise AssertionError("merge-probe join benchmark matched nothing")
-    return {
+    seconds = min(times) / 1e9
+    result = {
         "records": records,
         "probes": probes,
         "matches": matched,
         "seconds": round(seconds, 6),
         "probes_per_second": round(probes / seconds, 1),
     }
+    result.update(_op_fields(times, probes))
+    return result
 
 
-BENCHMARKS: Dict[str, Callable[[int], Dict[str, Any]]] = {
+BENCHMARKS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "codec_roundtrip": bench_codec_roundtrip,
     "heap_scan": bench_heap_scan,
     "btree_probe": bench_btree_probe,
@@ -224,7 +274,11 @@ BENCHMARKS: Dict[str, Callable[[int], Dict[str, Any]]] = {
 }
 
 
-def run_benchmarks(repeat: int = 3, only: Optional[List[str]] = None) -> Dict[str, Any]:
+def run_benchmarks(
+    repeat: int = 5,
+    only: Optional[List[str]] = None,
+    warmup: int = 1,
+) -> Dict[str, Any]:
     """Run the selected microbenchmarks; return the BENCH_micro payload."""
     names = only or sorted(BENCHMARKS)
     results: Dict[str, Any] = {}
@@ -234,12 +288,13 @@ def run_benchmarks(repeat: int = 3, only: Optional[List[str]] = None) -> Dict[st
                 "unknown benchmark %r (choose from %s)"
                 % (name, ", ".join(sorted(BENCHMARKS)))
             )
-        results[name] = BENCHMARKS[name](repeat)
+        results[name] = BENCHMARKS[name](repeat, warmup=warmup)
     return {
         "kind": "repro-bench-micro",
         "code_fingerprint": code_fingerprint()[:16],
         "python": platform.python_version(),
         "repeat": repeat,
+        "warmup": warmup,
         "benchmarks": results,
     }
 
@@ -248,20 +303,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench", description="storage/query hot-path microbenchmarks"
     )
-    parser.add_argument("--repeat", type=int, default=3,
-                        help="timing repetitions per benchmark (best-of)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="measured timing passes per benchmark "
+                        "(ns_per_op is min-of-k; p50/p95 come from all k)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="unmeasured leading passes per benchmark")
     parser.add_argument("--only", nargs="*", choices=sorted(BENCHMARKS),
                         help="run only the named benchmarks")
     parser.add_argument("--out", default="results",
-                        help="directory for BENCH_micro.json ('' disables)")
+                        help="directory for BENCH_micro.json and the run "
+                        "ledger ('' disables)")
+    parser.add_argument("--no-ledger", dest="no_ledger", action="store_true",
+                        help="skip appending a kind=micro record to "
+                        "OUT/ledger.jsonl")
     args = parser.parse_args(argv)
 
-    payload = run_benchmarks(repeat=args.repeat, only=args.only)
+    payload = run_benchmarks(
+        repeat=args.repeat, only=args.only, warmup=args.warmup
+    )
     for name, result in payload["benchmarks"].items():
         parts = ", ".join(
             "%s=%s" % (key, value)
             for key, value in sorted(result.items())
-            if key.endswith("_per_second") or key == "seconds" or key == "skipped"
+            if key.endswith("_per_second") or key.endswith("ns_per_op")
+            or key == "seconds" or key == "skipped"
         )
         print("%-16s %s" % (name, parts))
     if args.out:
@@ -271,6 +336,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %s" % path)
+        if not args.no_ledger:
+            from repro.obs import ledger as _ledger
+
+            record = _ledger.micro_record(
+                payload["benchmarks"], payload["code_fingerprint"]
+            )
+            _ledger.RunLedger(
+                os.path.join(args.out, _ledger.LEDGER_FILENAME)
+            ).append(record)
     return 0
 
 

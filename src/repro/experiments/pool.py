@@ -90,6 +90,7 @@ from repro.errors import (
 )
 from repro.experiments.runner import DatabaseCache, adaptive_queries
 from repro.fault import plan as _fault
+from repro.obs import spans as _spans
 from repro.storage.snapshot import SnapshotStore
 from repro.util.fingerprint import code_fingerprint  # noqa: F401  (re-export)
 from repro.workload.driver import CostReport, run_sequence
@@ -113,6 +114,20 @@ WORKER_DB_CACHE_SIZE = 4
 #: counts, cache hits, fault/recovery counters and wall-clock seconds.
 #: The report runner drains this into ``BENCH_sweeps.json``.
 SWEEP_LOG: List[Dict[str, Any]] = []
+
+#: Optional live-progress callback (``None`` → zero overhead).  Set via
+#: :func:`set_progress`; called as ``callback(event, info)`` with events
+#: ``"sweep_start"`` (total/cache_hits/jobs), ``"point_done"``
+#: (index/failed) and ``"sweep_end"`` (the finished ``SWEEP_LOG``
+#: entry).  :mod:`repro.obs.dashboard` renders these into the live
+#: terminal view; the hook never touches measured results.
+_PROGRESS = None
+
+
+def set_progress(callback) -> None:
+    """Install (or, with ``None``, remove) the sweep progress callback."""
+    global _PROGRESS
+    _PROGRESS = callback
 
 
 # ----------------------------------------------------------------------
@@ -775,17 +790,22 @@ def run_sweep(
     results: List[Any] = [None] * len(points)
     keys: List[Optional[str]] = [None] * len(points)
     pending: List[int] = []
-    for i, point in enumerate(points):
-        payload = None
-        if cache is not None:
-            keys[i] = point_key(point)
-            payload = cache.get(keys[i])
-        if payload is not None:
-            results[i] = _payload_to_result(payload)
-        else:
-            pending.append(i)
+    with _spans.span("sweep.schedule"):
+        for i, point in enumerate(points):
+            payload = None
+            if cache is not None:
+                keys[i] = point_key(point)
+                payload = cache.get(keys[i])
+            if payload is not None:
+                results[i] = _payload_to_result(payload)
+            else:
+                pending.append(i)
 
     hits = len(points) - len(pending)
+    progress = _PROGRESS
+    if progress is not None:
+        progress("sweep_start",
+                 {"total": len(points), "cache_hits": hits, "jobs": jobs})
     db_stats: Dict[str, Any] = {}
     if pending:
         try:
@@ -836,6 +856,8 @@ def run_sweep(
     }
     entry.update(_aggregate_reports(results))
     SWEEP_LOG.append(entry)
+    if progress is not None:
+        progress("sweep_end", entry)
     return results
 
 
@@ -866,19 +888,28 @@ def _run_serial(
     """Execute ``pending`` in-process, checkpointing after every point."""
     db_cache = DatabaseCache(store=_db_store())
     before = db_cache.stats_snapshot()
+    progress = _PROGRESS
     for i in pending:
         # The ``sweep.kill`` site SIGKILLs the process here — *between*
         # points — so every completed point is already checkpointed.
         _fault.hit("sweep.kill")
         try:
-            payload = _execute_with_recovery(points[i], db_cache, policy, counters)
+            with _spans.span("point.execute"):
+                payload = _execute_with_recovery(
+                    points[i], db_cache, policy, counters
+                )
         except PointFailed as exc:
             results[i] = FailedPoint(points[i], exc.cause or exc, exc.attempts)
             counters["quarantined"].append(point_label(points[i]))
+            if progress is not None:
+                progress("point_done", {"index": i, "failed": True})
             continue
         if cache is not None and keys[i] is not None:
-            cache.put(keys[i], payload)
+            with _spans.span("point.cache_write"):
+                cache.put(keys[i], payload)
         results[i] = _payload_to_result(payload)
+        if progress is not None:
+            progress("point_done", {"index": i, "failed": False})
     # Delta, not totals: the store singleton's counters span every
     # run_sweep call in this process.
     return _stats_delta(db_cache.stats_snapshot(), before)
@@ -975,15 +1006,21 @@ def _run_parallel(
         counters["timeouts"] += task_counters.get("timeouts", 0)
         for site, count in task_counters.get("injections", {}).items():
             worker_injections[site] = worker_injections.get(site, 0) + count
+        progress = _PROGRESS
         if payload.get("kind") == "failed":
             results[index] = FailedPoint(
                 points[index], payload["error"], payload["attempts"]
             )
             counters["quarantined"].append(point_label(points[index]))
+            if progress is not None:
+                progress("point_done", {"index": index, "failed": True})
             return
         if cache is not None and keys[index] is not None:
-            cache.put(keys[index], payload)
+            with _spans.span("point.cache_write"):
+                cache.put(keys[index], payload)
         results[index] = _payload_to_result(payload)
+        if progress is not None:
+            progress("point_done", {"index": index, "failed": False})
 
     def charge_attempt(index: int, error: BaseException) -> None:
         """One failed parent-side attempt for ``index`` (requeue or give up)."""

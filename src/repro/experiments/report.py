@@ -33,6 +33,9 @@ from repro.experiments import ablations, deep, fig3, fig4, fig5, fig7, matrix, o
 from repro.experiments import pool
 from repro.experiments.pool import PointCache
 from repro.experiments.runner import ExperimentResult
+from repro.fault import plan as _fault
+from repro.obs import ledger as _ledger
+from repro.obs import spans as _spans
 
 
 def experiment_suite(
@@ -214,6 +217,32 @@ def main(argv=None) -> int:
         help="telemetry JSON path ('' disables)",
     )
     parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending this run to OUT/%s" % _ledger.LEDGER_FILENAME,
+    )
+    parser.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="disable wall-clock span profiling for this run (spans are "
+        "digest-neutral; this only drops the ledger's span rollups)",
+    )
+    live = parser.add_mutually_exclusive_group()
+    live.add_argument(
+        "--live",
+        dest="live",
+        action="store_true",
+        default=None,
+        help="live sweep progress on stderr (default: auto when stderr "
+        "is a terminal)",
+    )
+    live.add_argument(
+        "--no-live",
+        dest="live",
+        action="store_false",
+        help="suppress the live progress line",
+    )
+    parser.add_argument(
         "--max-retries",
         dest="max_retries",
         type=int,
@@ -257,54 +286,78 @@ def main(argv=None) -> int:
                 % (", ".join(unknown), ", ".join(names))
             )
 
+    live = args.live
+    if live is None:
+        live = sys.stderr.isatty()
+    dashboard = None
+    if live:
+        from repro.obs.dashboard import SweepDashboard
+
+        dashboard = SweepDashboard()
+        pool.set_progress(dashboard)
+    # Span profiling is on by default for report runs: spans are
+    # digest-neutral by construction (they never touch the simulated
+    # counters), and the ledger's wall-clock rollups come from them.
+    # The library-level default stays off; only this entry point opts in.
+    prof = None if args.no_spans else _spans.enable(_spans.SpanProfiler())
+
     telemetry: List[dict] = []
     t_start = time.perf_counter()
-    for name, run in suite:
-        if args.only and name not in args.only:
-            continue
-        sweeps_before = len(pool.SWEEP_LOG)
-        t0 = time.perf_counter()
-        result = run()
-        seconds = time.perf_counter() - t0
-        sweeps = pool.SWEEP_LOG[sweeps_before:]
-        buffer = _sum_nested(sweeps, "buffer")
-        io = _sum_nested(sweeps, "io")
-        db = _round_floats(_sum_nested(sweeps, "db"))
-        faults = _sum_faults(sweeps)
-        telemetry.append(
-            {
-                "name": name,
-                "seconds": round(seconds, 3),
-                "points": sum(s["points"] for s in sweeps),
-                "cache_hits": sum(s["cache_hits"] for s in sweeps),
-                "executed": sum(s["executed"] for s in sweeps),
-                "buffer": buffer,
-                "io": io,
-                "db": db,
-                "faults": faults,
-            }
-        )
-        text = annotate(name, result)
-        text += "\n[%s: %.1fs at scale %.2f]" % (name, seconds, args.scale)
-        accesses = buffer.get("hits", 0) + buffer.get("misses", 0)
-        if accesses:
-            text += (
-                "\n[buffer pool: %d accesses, hit rate %.3f, "
-                "%d evictions (%d dirty)]"
-                % (
-                    accesses,
-                    buffer["hits"] / accesses,
-                    buffer.get("evictions", 0),
-                    buffer.get("dirty_evictions", 0),
-                )
+    try:
+        for name, run in suite:
+            if args.only and name not in args.only:
+                continue
+            if dashboard is not None:
+                dashboard.set_experiment(name)
+            sweeps_before = len(pool.SWEEP_LOG)
+            t0 = time.perf_counter()
+            result = run()
+            seconds = time.perf_counter() - t0
+            sweeps = pool.SWEEP_LOG[sweeps_before:]
+            buffer = _sum_nested(sweeps, "buffer")
+            io = _sum_nested(sweeps, "io")
+            db = _round_floats(_sum_nested(sweeps, "db"))
+            faults = _sum_faults(sweeps)
+            telemetry.append(
+                {
+                    "name": name,
+                    "seconds": round(seconds, 3),
+                    "points": sum(s["points"] for s in sweeps),
+                    "cache_hits": sum(s["cache_hits"] for s in sweeps),
+                    "executed": sum(s["executed"] for s in sweeps),
+                    "buffer": buffer,
+                    "io": io,
+                    "db": db,
+                    "faults": faults,
+                }
             )
-        for line in _fault_lines(faults):
-            text += "\n" + line
-        print(text)
-        print()
-        with open(os.path.join(args.out, "%s.txt" % name), "w") as handle:
-            handle.write(text + "\n")
-        result.write_json(os.path.join(args.out, "%s.json" % name))
+            text = annotate(name, result)
+            text += "\n[%s: %.1fs at scale %.2f]" % (name, seconds, args.scale)
+            accesses = buffer.get("hits", 0) + buffer.get("misses", 0)
+            if accesses:
+                text += (
+                    "\n[buffer pool: %d accesses, hit rate %.3f, "
+                    "%d evictions (%d dirty)]"
+                    % (
+                        accesses,
+                        buffer["hits"] / accesses,
+                        buffer.get("evictions", 0),
+                        buffer.get("dirty_evictions", 0),
+                    )
+                )
+            for line in _fault_lines(faults):
+                text += "\n" + line
+            print(text)
+            print()
+            with open(os.path.join(args.out, "%s.txt" % name), "w") as handle:
+                handle.write(text + "\n")
+            result.write_json(os.path.join(args.out, "%s.json" % name))
+    finally:
+        if dashboard is not None:
+            pool.set_progress(None)
+            dashboard.finish()
+        if prof is not None:
+            _spans.disable()
     total_seconds = time.perf_counter() - t_start
     print("total: %.1fs" % total_seconds)
 
@@ -332,6 +385,37 @@ def main(argv=None) -> int:
         with open(args.bench_out, "w") as handle:
             json.dump(bench, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    if not args.no_ledger:
+        plan = _fault.active()
+        fault_config = None
+        if plan is not None:
+            fault_config = {
+                "seed": plan.seed,
+                "sites": {
+                    site: {
+                        "rate": spec.rate,
+                        "count": spec.count,
+                        "after": spec.after,
+                    }
+                    for site, spec in sorted(plan.specs.items())
+                },
+            }
+        record = _ledger.report_record(
+            scale=args.scale,
+            jobs=args.jobs,
+            total_seconds=total_seconds,
+            experiments=telemetry,
+            faults=_sum_faults(telemetry),
+            db=_round_floats(_sum_nested(telemetry, "db")),
+            point_cache=point_cache.stats_snapshot() if point_cache else {},
+            fingerprint=pool.code_fingerprint()[:16],
+            spans=prof.rollups() if prof is not None and prof.stats else None,
+            fault_config=fault_config,
+        )
+        _ledger.RunLedger(
+            os.path.join(args.out, _ledger.LEDGER_FILENAME)
+        ).append(record)
     return 0
 
 

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.strategies.base import make_strategy
 from repro.errors import FaultInjected
+from repro.obs import spans as _spans
 from repro.storage.snapshot import Snapshot, SnapshotStore
 from repro.util.fmt import format_table
 from repro.workload.driver import CostReport, run_sequence
@@ -225,7 +226,8 @@ class DatabaseCache:
             db = self._cache.get(key)
             if db is None:
                 t0 = time.perf_counter()
-                db = build()
+                with _spans.span("db.build"):
+                    db = build()
                 self.builds += 1
                 self.build_seconds += time.perf_counter() - t0
                 self._cache[key] = db
@@ -241,7 +243,8 @@ class DatabaseCache:
         elif self.max_entries is not None:
             self._cache.move_to_end(key)
         t0 = time.perf_counter()
-        clone = snapshot.attach()
+        with _spans.span("db.attach"):
+            clone = snapshot.attach()
         self.attaches += 1
         self.attach_seconds += time.perf_counter() - t0
         return clone
@@ -261,7 +264,10 @@ class DatabaseCache:
                 self._degrade(exc)
         if snapshot is None:
             t0 = time.perf_counter()
-            snapshot = Snapshot.freeze(build())
+            with _spans.span("db.build"):
+                built = build()
+            with _spans.span("db.freeze"):
+                snapshot = Snapshot.freeze(built)
             self.builds += 1
             self.build_seconds += time.perf_counter() - t0
             if self.store is not None:

@@ -1,0 +1,166 @@
+"""Live plain-text sweep dashboard.
+
+``repro report --live`` (or a TTY on stderr) installs a
+:class:`SweepDashboard` as the sweep engine's progress callback
+(:func:`repro.experiments.pool.set_progress`).  The dashboard renders
+one status line — points done/total, executed-point throughput, ETA,
+buffer hit rate, retry/quarantine counts and the hottest wall-clock
+spans — refreshed in place on a TTY, or as one summary line per
+finished sweep on a dumb stream (CI logs).
+
+Everything here is presentation: the dashboard only *reads* the
+telemetry the sweep engine already produces (progress events, sweep-log
+entries, the span profiler) and writes to stderr.  It never touches
+the measured counters, so a `--live` run is bit-identical to a silent
+one.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import spans as _spans
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return "%dh%02dm" % (seconds // 3600, (seconds % 3600) // 60)
+    if seconds >= 60:
+        return "%dm%02ds" % (seconds // 60, seconds % 60)
+    return "%.0fs" % seconds
+
+
+class SweepDashboard:
+    """Renders sweep progress events into a live terminal status line.
+
+    Use as the :func:`repro.experiments.pool.set_progress` callback::
+
+        dash = SweepDashboard()
+        pool.set_progress(dash)
+        try:
+            ...  # run sweeps
+        finally:
+            pool.set_progress(None)
+            dash.finish()
+
+    ``stream`` defaults to stderr; ``force_tty`` overrides TTY detection
+    (tests use a StringIO with ``force_tty=True``).
+    """
+
+    #: Minimum seconds between in-place repaints (keeps terminal writes
+    #: off the sweep's critical path).
+    REFRESH_SECONDS = 0.2
+
+    def __init__(
+        self,
+        stream: Optional[Any] = None,
+        force_tty: Optional[bool] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self.stream, "isatty", None)
+        self.is_tty = bool(isatty()) if (force_tty is None and isatty) else bool(force_tty)
+        self._clock = clock
+        self._t_start: Optional[float] = None
+        self._last_paint = 0.0
+        self._last_width = 0
+        self.experiment = ""
+        #: Cumulative across every sweep seen so far.
+        self.total_points = 0
+        self.done_points = 0
+        self.executed_done = 0
+        self.failed = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.retries = 0
+        self.quarantined = 0
+
+    # ------------------------------------------------------------------
+    # event intake (the pool progress callback)
+    # ------------------------------------------------------------------
+    def __call__(self, event: str, info: Dict[str, Any]) -> None:
+        if self._t_start is None:
+            self._t_start = self._clock()
+        if event == "sweep_start":
+            self.total_points += info.get("total", 0)
+            self.done_points += info.get("cache_hits", 0)
+            self._paint()
+        elif event == "point_done":
+            self.done_points += 1
+            self.executed_done += 1
+            if info.get("failed"):
+                self.failed += 1
+            self._paint()
+        elif event == "sweep_end":
+            buffer = info.get("buffer", {})
+            self.buffer_hits += buffer.get("hits", 0)
+            self.buffer_misses += buffer.get("misses", 0)
+            faults = info.get("faults", {})
+            self.retries += faults.get("retries", 0)
+            self.quarantined += len(faults.get("quarantined", []))
+            self._paint(force=not self.is_tty)
+
+    def set_experiment(self, name: str) -> None:
+        """Label the status line with the experiment now running."""
+        self.experiment = name
+        self._paint(force=True)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def status_line(self) -> str:
+        parts: List[str] = []
+        if self.experiment:
+            parts.append(self.experiment)
+        parts.append("%d/%d pts" % (self.done_points, self.total_points))
+        elapsed = (self._clock() - self._t_start) if self._t_start else 0.0
+        if elapsed > 0 and self.executed_done:
+            rate = self.executed_done / elapsed
+            parts.append("%.1f pt/s" % rate)
+            remaining = max(0, self.total_points - self.done_points)
+            if remaining and rate > 0:
+                parts.append("eta %s" % _fmt_seconds(remaining / rate))
+        accesses = self.buffer_hits + self.buffer_misses
+        if accesses:
+            parts.append("buf %.1f%%" % (100.0 * self.buffer_hits / accesses))
+        if self.retries:
+            parts.append("retries %d" % self.retries)
+        if self.quarantined or self.failed:
+            parts.append("quarantined %d" % max(self.quarantined, self.failed))
+        prof = _spans._PROFILER
+        if prof is not None and prof.stats:
+            hottest = prof.hottest(2)
+            parts.append(
+                "hot: "
+                + " ".join(
+                    "%s %s" % (path.rsplit(_spans.PATH_SEP, 1)[-1],
+                               _fmt_seconds(stat.total_ns / 1e9))
+                    for path, stat in hottest
+                )
+            )
+        return " | ".join(parts)
+
+    def _paint(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and (
+            not self.is_tty or now - self._last_paint < self.REFRESH_SECONDS
+        ):
+            return
+        self._last_paint = now
+        line = self.status_line()
+        if self.is_tty:
+            pad = max(0, self._last_width - len(line))
+            self.stream.write("\r" + line + " " * pad)
+            self._last_width = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Paint the final state and release the status line."""
+        self._paint(force=True)
+        if self.is_tty:
+            self.stream.write("\n")
+            self.stream.flush()

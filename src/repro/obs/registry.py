@@ -23,7 +23,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.util.stats import percentile
+
 TagKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Bound on each histogram's retained-sample reservoir.  Past it, the
+#: reservoir is decimated (every other sample kept) and the sampling
+#: stride doubles — deterministic systematic sampling, so identical
+#: observation streams always retain identical reservoirs and identical
+#: percentile estimates.
+SAMPLE_CAP = 4096
 
 
 def _key(name: str, tags: Dict[str, Any]) -> TagKey:
@@ -41,15 +50,20 @@ def _label(key: TagKey) -> str:
 
 
 class Histogram:
-    """count/sum/min/max plus power-of-two buckets.
+    """count/sum/min/max, percentiles, plus power-of-two buckets.
 
     Bucket ``i`` counts observations with ``2**(i-1) < value <= 2**i``
     (bucket 0 counts values <= 1).  Power-of-two edges keep the
-    structure value-free and mergeable, which is all the per-query I/O
-    distributions need.
+    structure value-free and mergeable.  A bounded, deterministically
+    decimated sample reservoir (:data:`SAMPLE_CAP`) additionally makes
+    the histogram percentile-capable: :meth:`quantile` and the
+    p50/p95/p99 fields of :meth:`as_dict` interpolate over the retained
+    samples — the latency summaries the serving-layer era reports
+    through (ROADMAP item 3).
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "samples",
+                 "_stride", "_skip")
 
     def __init__(self) -> None:
         self.count = 0
@@ -57,6 +71,9 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets: Dict[int, int] = {}
+        self.samples: List[float] = []
+        self._stride = 1
+        self._skip = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -71,10 +88,22 @@ class Histogram:
             edge <<= 1
             bucket += 1
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.samples.append(value)
+        if len(self.samples) > SAMPLE_CAP:
+            del self.samples[::2]
+            self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation percentile over the retained samples."""
+        return percentile(self.samples, q)
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
@@ -85,14 +114,23 @@ class Histogram:
             self.max = other.max
         for bucket, count in other.buckets.items():
             self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+        self.samples.extend(other.samples)
+        while len(self.samples) > SAMPLE_CAP:
+            del self.samples[::2]
+            self._stride *= 2
 
     def as_dict(self) -> Dict[str, Any]:
+        # Key order is part of the snapshot contract: new percentile
+        # fields slot between mean and buckets, everything else as before.
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(50),
+            "p95": self.quantile(95),
+            "p99": self.quantile(99),
             "buckets": {str(b): self.buckets[b] for b in sorted(self.buckets)},
         }
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import ReproError
+from repro.obs import spans as _spans
 from repro.obs.registry import MetricsRegistry
 
 #: The page kinds a relation name maps onto.
@@ -163,32 +164,47 @@ _NULL_CONTEXT = _NullContext()
 
 
 class _StageContext:
-    __slots__ = ("tracer", "name", "prev")
+    __slots__ = ("tracer", "name", "prev", "span")
 
-    def __init__(self, tracer: "Tracer", name: str) -> None:
+    def __init__(self, tracer: Optional["Tracer"], name: str,
+                 span: Optional[Any] = None) -> None:
         self.tracer = tracer
         self.name = name
+        self.span = span
 
     def __enter__(self) -> None:
-        self.prev = self.tracer.stage
-        self.tracer.stage = self.name
+        tracer = self.tracer
+        if tracer is not None:
+            self.prev = tracer.stage
+            tracer.stage = self.name
+        if self.span is not None:
+            self.span.__enter__()
 
     def __exit__(self, *exc: object) -> None:
-        self.tracer.stage = self.prev
+        if self.span is not None:
+            self.span.__exit__(*exc)
+        if self.tracer is not None:
+            self.tracer.stage = self.prev
 
 
 def stage(name: str):
     """Attribute page accesses in the ``with`` block to stage ``name``.
 
     Stages nest (e.g. ``cache-probe`` inside ``probe``); the innermost
-    one wins.  When no tracer is active this returns a shared no-op
-    context manager — one global read and no allocation, so operators
-    can annotate unconditionally.
+    one wins.  When a :mod:`repro.obs.spans` profiler is enabled the
+    block is additionally measured as a wall-clock span ``stage:NAME``,
+    so the operator stages carry both simulated-I/O and real-time
+    attribution from the same annotation points.  With neither a tracer
+    nor a profiler active this returns a shared no-op context manager —
+    two global reads and no allocation, so operators can annotate
+    unconditionally.
     """
     tracer = _ACTIVE
-    if tracer is None:
+    prof = _spans._PROFILER
+    if tracer is None and prof is None:
         return _NULL_CONTEXT
-    return _StageContext(tracer, name)
+    span = prof.span("stage:" + name) if prof is not None else None
+    return _StageContext(tracer, name, span)
 
 
 # ----------------------------------------------------------------------

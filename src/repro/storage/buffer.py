@@ -45,9 +45,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Dict, Iterator, Optional
 
 from repro.errors import BufferPoolFullError
+from repro.obs import spans as _spans
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page, PageId
 
@@ -219,6 +221,10 @@ class BufferPool:
                 self._referenced[page_id] = True
         else:
             self.stats.misses += 1
+            # Span the miss path only: the hit branch above stays free of
+            # any profiler test (it runs tens of millions of times).
+            prof = _spans._PROFILER
+            t0 = perf_counter_ns() if prof is not None else 0
             if len(frames) >= self.capacity:
                 if self._is_lru:
                     self._evict_lru()
@@ -226,6 +232,8 @@ class BufferPool:
                     self._evict_clock()
             frame = _Frame(self.disk.read_page(page_id))
             self._install(page_id, frame)
+            if prof is not None:
+                prof.add("pool.fetch_miss", perf_counter_ns() - t0)
         if pin:
             frame.pins += 1
         return frame.page
@@ -250,6 +258,8 @@ class BufferPool:
                 self._referenced[page_id] = True
         else:
             self.stats.misses += 1
+            prof = _spans._PROFILER
+            t0 = perf_counter_ns() if prof is not None else 0
             if len(frames) >= self.capacity:
                 if self._is_lru:
                     self._evict_lru()
@@ -257,6 +267,8 @@ class BufferPool:
                     self._evict_clock()
             frame = _Frame(self.disk.read_page(page_id))
             self._install(page_id, frame)
+            if prof is not None:
+                prof.add("pool.fetch_miss", perf_counter_ns() - t0)
         return frame
 
     def writable(self, page_id: PageId, pin: bool = False) -> Page:

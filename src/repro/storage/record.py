@@ -23,9 +23,11 @@ from __future__ import annotations
 import operator
 import os
 import struct
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RecordError
+from repro.obs import spans as _spans
 
 #: Debug fallback: set ``REPRO_TUPLE_PAGES=1`` to disable the slotted
 #: byte codecs entirely.  Every page then keeps its records as decoded
@@ -247,6 +249,15 @@ class RecordCodec:
     # ------------------------------------------------------------------
     def encode(self, records: Sequence[Tuple[Any, ...]]) -> bytes:
         """The slotted byte image of ``records``."""
+        prof = _spans._PROFILER
+        if prof is None:
+            return self._encode(records)
+        t0 = perf_counter_ns()
+        image = self._encode(records)
+        prof.add("codec.encode", perf_counter_ns() - t0)
+        return image
+
+    def _encode(self, records: Sequence[Tuple[Any, ...]]) -> bytes:
         codes = self._codes
         INT, CHAR = self._INT, self._CHAR
         payloads: List[bytes] = []
@@ -277,6 +288,15 @@ class RecordCodec:
 
     def decode(self, buf: bytes) -> List[Tuple[Any, ...]]:
         """The records of a byte image produced by :meth:`encode`."""
+        prof = _spans._PROFILER
+        if prof is None:
+            return self._decode(buf)
+        t0 = perf_counter_ns()
+        records = self._decode(buf)
+        prof.add("codec.decode", perf_counter_ns() - t0)
+        return records
+
+    def _decode(self, buf: bytes) -> List[Tuple[Any, ...]]:
         from repro.core.oid import Oid  # layering: core depends on storage
 
         codes = self._codes

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CacheCorrupt
 from repro.fault import plan as _fault
+from repro.obs import spans as _spans
 
 
 class Snapshot:
@@ -64,12 +65,13 @@ class Snapshot:
     @classmethod
     def freeze(cls, db: Any) -> "Snapshot":
         """Seal ``db``: flush dirty frames, zero counters, freeze pages."""
-        db.start_measurement(cold=True)
-        disk = db.disk
-        # A tracer hooked into this build must not leak into templates
-        # (closures are neither picklable nor meaningful across clones).
-        disk.io_hook = None
-        disk.freeze()
+        with _spans.span("snapshot.freeze"):
+            db.start_measurement(cold=True)
+            disk = db.disk
+            # A tracer hooked into this build must not leak into templates
+            # (closures are neither picklable nor meaningful across clones).
+            disk.io_hook = None
+            disk.freeze()
         return cls(db)
 
     def attach(self) -> Any:
@@ -87,11 +89,12 @@ class Snapshot:
         (schemas, units, ``PageId``/``Oid`` tuples) short-circuit the
         descent via ``__deepcopy__`` returning ``self``.
         """
-        disk = self._db.disk
-        memo: Dict[int, Any] = {
-            id(page): page for pages in disk._files.values() for page in pages
-        }
-        return copy.deepcopy(self._db, memo)
+        with _spans.span("snapshot.attach"):
+            disk = self._db.disk
+            memo: Dict[int, Any] = {
+                id(page): page for pages in disk._files.values() for page in pages
+            }
+            return copy.deepcopy(self._db, memo)
 
     def to_bytes(self) -> bytes:
         blob = self._blob

@@ -63,10 +63,18 @@ class TestMain:
             ".pointcache",
             "ablation_buffer_policy.json",
             "ablation_buffer_policy.txt",
+            "ledger.jsonl",
         ]
         out = capsys.readouterr().out
         assert "A4" in out
         assert "total:" in out
+        # Every report run appends one ledger record with span rollups.
+        from repro.obs.ledger import RunLedger
+
+        (record,) = RunLedger(str(tmp_path / "out" / "ledger.jsonl")).read()
+        assert record["kind"] == "report"
+        assert record["scale"] == 0.05
+        assert record["spans"]
         # Telemetry: one entry per experiment, with point counts.
         payload = json.loads(bench.read_text())
         assert payload["jobs"] == 1

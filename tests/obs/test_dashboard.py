@@ -1,0 +1,134 @@
+"""The live sweep dashboard: pure presentation over progress events."""
+
+import io
+
+from repro.obs import spans as _spans
+from repro.obs.dashboard import SweepDashboard, _fmt_seconds
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def dashboard(tty=False):
+    stream = io.StringIO()
+    clock = FakeClock()
+    dash = SweepDashboard(stream=stream, force_tty=tty, clock=clock)
+    return dash, stream, clock
+
+
+def sweep_end(buffer=None, faults=None):
+    return {
+        "buffer": buffer or {},
+        "faults": faults or {},
+    }
+
+
+class TestEventIntake:
+    def test_counts_points_and_cache_hits(self):
+        dash, _, clock = dashboard()
+        dash("sweep_start", {"total": 10, "cache_hits": 4, "jobs": 1})
+        for i in range(3):
+            clock.now += 1.0
+            dash("point_done", {"index": i, "failed": False})
+        assert (dash.done_points, dash.total_points) == (7, 10)
+        assert dash.executed_done == 3
+
+    def test_sweep_end_accumulates_buffer_and_faults(self):
+        dash, _, _ = dashboard()
+        dash("sweep_start", {"total": 1, "cache_hits": 0})
+        dash("sweep_end", sweep_end(
+            buffer={"hits": 75, "misses": 25},
+            faults={"retries": 2, "quarantined": ["fig3/p0"]},
+        ))
+        assert (dash.buffer_hits, dash.buffer_misses) == (75, 25)
+        assert (dash.retries, dash.quarantined) == (2, 1)
+
+    def test_multiple_sweeps_accumulate(self):
+        dash, _, _ = dashboard()
+        for _ in range(2):
+            dash("sweep_start", {"total": 5, "cache_hits": 5})
+            dash("sweep_end", sweep_end())
+        assert dash.total_points == 10
+        assert dash.done_points == 10
+
+
+class TestStatusLine:
+    def test_throughput_and_eta(self):
+        dash, _, clock = dashboard()
+        dash("sweep_start", {"total": 20, "cache_hits": 0})
+        for i in range(10):
+            clock.now += 1.0
+            dash("point_done", {"index": i, "failed": False})
+        line = dash.status_line()
+        assert "10/20 pts" in line
+        assert "1.0 pt/s" in line
+        assert "eta 10s" in line
+
+    def test_buffer_retry_quarantine_sections(self):
+        dash, _, _ = dashboard()
+        dash("sweep_start", {"total": 1, "cache_hits": 1})
+        dash("sweep_end", sweep_end(
+            buffer={"hits": 3, "misses": 1},
+            faults={"retries": 5, "quarantined": ["x"]},
+        ))
+        line = dash.status_line()
+        assert "buf 75.0%" in line
+        assert "retries 5" in line
+        assert "quarantined 1" in line
+
+    def test_experiment_label_leads(self):
+        dash, _, _ = dashboard()
+        dash.set_experiment("fig4")
+        assert dash.status_line().startswith("fig4 |")
+
+    def test_hottest_spans_when_profiling(self):
+        dash, _, _ = dashboard()
+        dash("sweep_start", {"total": 1, "cache_hits": 0})
+        with _spans.profiled() as prof:
+            prof.add("db.build", 2_000_000_000)
+            line = dash.status_line()
+        assert "hot: db.build 2s" in line
+
+
+class TestRendering:
+    def test_dumb_stream_prints_one_line_per_sweep(self):
+        dash, stream, _ = dashboard(tty=False)
+        dash("sweep_start", {"total": 2, "cache_hits": 0})
+        dash("point_done", {"index": 0, "failed": False})  # throttled away
+        dash("sweep_end", sweep_end())
+        assert stream.getvalue().count("\n") == 1
+
+    def test_tty_repaints_in_place_with_padding(self):
+        dash, stream, clock = dashboard(tty=True)
+        dash.set_experiment("a-long-experiment-name")
+        clock.now += 1.0
+        dash.set_experiment("x")
+        out = stream.getvalue()
+        assert out.count("\r") == 2
+        # second paint pads over the longer first line
+        assert out.rstrip(" ").endswith("0/0 pts")
+
+    def test_tty_refresh_is_throttled(self):
+        dash, stream, clock = dashboard(tty=True)
+        dash("sweep_start", {"total": 100, "cache_hits": 0})
+        for i in range(50):  # no clock advance: within refresh window
+            dash("point_done", {"index": i, "failed": False})
+        assert stream.getvalue().count("\r") == 1
+
+    def test_finish_releases_the_line_on_tty(self):
+        dash, stream, _ = dashboard(tty=True)
+        dash("sweep_start", {"total": 1, "cache_hits": 1})
+        dash.finish()
+        assert stream.getvalue().endswith("\n")
+
+
+class TestFormatting:
+    def test_fmt_seconds_scales_units(self):
+        assert _fmt_seconds(42) == "42s"
+        assert _fmt_seconds(90) == "1m30s"
+        assert _fmt_seconds(3700) == "1h01m"
