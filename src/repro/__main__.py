@@ -65,6 +65,16 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` parser: a positive int, or ``auto`` for all cores."""
+    from repro.experiments.pool import resolve_jobs
+
+    try:
+        return resolve_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _configure_policy(args: argparse.Namespace) -> None:
     from repro.experiments.pool import configure_retry_policy
 
@@ -235,12 +245,13 @@ def cmd_dbcache(args: argparse.Namespace) -> int:
         rows.append(
             [
                 name,
+                "arena" if name.endswith(".arena") else "pickle",
                 "%.1f" % (size / 1024.0),
                 time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(mtime)),
                 "current" if fingerprint == current else "stale",
             ]
         )
-    print(format_table(["snapshot", "KiB", "written", "code"], rows,
+    print(format_table(["snapshot", "format", "KiB", "written", "code"], rows,
                        title="Database snapshot store: %s" % store.root))
     print("\ntotal: %d snapshot(s), %.1f KiB"
           % (len(entries), store.bytes_on_disk() / 1024.0))
@@ -402,8 +413,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--overlap-factor", dest="overlap_factor", type=int)
     run.add_argument("--num-queries", dest="num_queries", type=int)
     run.add_argument("--seed", type=int)
-    run.add_argument("--jobs", type=int, default=1,
-                     help="worker processes for sweep execution")
+    run.add_argument("--jobs", type=_jobs_arg, default=1,
+                     help="worker processes for sweep execution "
+                     "('auto' = one per core)")
     run.add_argument("--out", default="results",
                      help="results directory (holds the snapshot store)")
     run.add_argument("--no-db-cache", dest="no_db_cache", action="store_true",
@@ -420,8 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "10,000 parents (default: full paper scale)")
     report.add_argument("--out", default="results")
     report.add_argument("--only", nargs="*")
-    report.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for sweep points (1 = serial)")
+    report.add_argument("--jobs", type=_jobs_arg, default=1,
+                        help="worker processes for sweep points "
+                        "(1 = serial, 'auto' = one per core)")
     report.add_argument("--no-point-cache", dest="no_point_cache",
                         action="store_true",
                         help="recompute every point (skip OUT/.pointcache)")
@@ -500,8 +513,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fault-seed", dest="fault_seed", type=int, default=0,
                        help="seed of the fault schedule (same seed = same "
                        "injection points)")
-    chaos.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (adds worker-crash faults)")
+    chaos.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes (adds worker-crash faults; "
+                       "'auto' = one per core)")
     chaos.add_argument("--out", default="results",
                        help="results directory (chaos writes under OUT/chaos)")
     chaos.add_argument("--faults", default=None,

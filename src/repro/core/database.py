@@ -48,6 +48,11 @@ class Unit:
     child_keys: Tuple[int, ...]
     parents: Tuple[int, ...]
 
+    #: Immutable, so arena snapshots store one copy per process and every
+    #: attached clone shares it (see :mod:`repro.storage.arena`) — the
+    #: exact sharing :meth:`__deepcopy__` grants snapshot clones.
+    ARENA_SHAREABLE = True
+
     def __deepcopy__(self, memo: dict) -> "Unit":
         # Frozen dataclass of ints and int tuples; snapshot clones share
         # the unit objects instead of re-copying every key tuple.

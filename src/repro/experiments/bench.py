@@ -266,11 +266,87 @@ def bench_join_inner(
     return result
 
 
+def _bench_snapshot(scale: float = 0.05):
+    """A frozen workload database for the attach benchmarks."""
+    from repro.storage.snapshot import Snapshot
+    from repro.workload.generator import build_database
+    from repro.workload.params import WorkloadParams
+
+    params = WorkloadParams().scaled(scale)
+    return Snapshot.freeze(build_database(params, cache=True))
+
+
+def bench_arena_attach(
+    repeat: int, warmup: int = 1, scale: float = 0.05
+) -> Dict[str, Any]:
+    """Clone materialization from a registry-warm mmap arena.
+
+    One op is what a pool worker pays per sweep point on the arena
+    path: unpickling the metadata blob against the shared zero-copy
+    page stubs.  The one-time mmap + parse (paid once per process, not
+    per attach) is reported separately as ``load_ns``.
+    """
+    import tempfile
+
+    from repro.storage import arena as _arena
+
+    snapshot = _bench_snapshot(scale)
+    blob = _arena.build_arena(snapshot._db)
+    with tempfile.TemporaryDirectory() as root:
+        path = os.path.join(root, "bench.arena")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        start = perf_counter_ns()
+        state = _arena._load_state(path)
+        load_ns = perf_counter_ns() - start
+        times, clone = _time_ns(state.attach, repeat, warmup)
+        if clone is None or clone.disk is None:
+            raise AssertionError("arena attach produced no database")
+    result = {
+        "pages": state.pages,
+        "arena_bytes": len(blob),
+        "load_ns": load_ns,
+        "seconds": round(min(times) / 1e9, 6),
+    }
+    result.update(_op_fields(times, 1))
+    return result
+
+
+def bench_pickle_attach(
+    repeat: int, warmup: int = 1, scale: float = 0.05
+) -> Dict[str, Any]:
+    """Clone materialization from the legacy pickle snapshot format.
+
+    One op is the pickle path's per-point cost on a store hit: unpickle
+    the whole-database blob (page payloads included), then deep-copy
+    attach.  The direct comparison point for ``arena_attach``.
+    """
+    from repro.storage.snapshot import Snapshot
+
+    snapshot = _bench_snapshot(scale)
+    blob = snapshot.to_bytes()
+
+    def attach_one():
+        return Snapshot.from_bytes(blob).attach()
+
+    times, clone = _time_ns(attach_one, repeat, warmup)
+    if clone is None or clone.disk is None:
+        raise AssertionError("pickle attach produced no database")
+    result = {
+        "pickle_bytes": len(blob),
+        "seconds": round(min(times) / 1e9, 6),
+    }
+    result.update(_op_fields(times, 1))
+    return result
+
+
 BENCHMARKS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "codec_roundtrip": bench_codec_roundtrip,
     "heap_scan": bench_heap_scan,
     "btree_probe": bench_btree_probe,
     "join_inner": bench_join_inner,
+    "arena_attach": bench_arena_attach,
+    "pickle_attach": bench_pickle_attach,
 }
 
 

@@ -684,8 +684,38 @@ def _init_worker(
     if plan is not None:
         _fault.install(plan)
     store = SnapshotStore(store_root) if store_root else None
+    if store is not None:
+        _prewarm_arenas(store)
     _WORKER_DB_CACHE = DatabaseCache(max_entries=WORKER_DB_CACHE_SIZE, store=store)
     _WORKER_POLICY = policy or RetryPolicy()
+
+
+def _prewarm_arenas(store: SnapshotStore) -> int:
+    """mmap every stored arena for the current fingerprint at pool start.
+
+    Populating the worker's per-process arena registry up front moves
+    the one-time parse (header check, stub build, codec unpickle) out of
+    the first point of each shape; attach itself stays lazy and
+    zero-copy.  Corrupt or foreign files are skipped — the normal
+    ``get()`` path quarantines them when actually consulted.
+    """
+    from repro.storage import arena as _arena
+
+    prefix = "%s%s-" % (SnapshotStore.FILE_PREFIX, store.fingerprint[:12])
+    count = 0
+    try:
+        names = sorted(os.listdir(store.root))
+    except OSError:
+        return 0
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(".arena")):
+            continue
+        try:
+            _arena.registry().load(os.path.join(store.root, name))
+            count += 1
+        except Exception:
+            continue
+    return count
 
 
 def _stats_delta(
@@ -754,6 +784,61 @@ def _dispatch_key(point: SweepPoint) -> Tuple:
     return ("workload",) + DatabaseCache().shape_key(
         params, strategy_cls.uses_clustering, want_cache, point.db_procedural
     )
+
+
+def _cost_estimate(point: SweepPoint) -> float:
+    """Relative work estimate of one point, for dispatch ordering only.
+
+    Workload points scale with the query count times the objects touched
+    per query (``num_top``); deep points with queries × span × depth.
+    The estimate never influences a measurement — only the order points
+    leave the dispatch queue.
+    """
+    if point.kind == "deep":
+        return float(
+            (point.queries or 1) * (point.span or 1) * max(1, point.depth or 1)
+        )
+    params = point.params
+    if params is None:
+        return 1.0
+    if point.sequence == "mixed" and point.mix_num_tops:
+        tops = list(point.mix_num_tops)
+    else:
+        tops = [params.num_top]
+    queries = adaptive_queries(max(tops), point.num_retrieves)
+    return float(queries) * (sum(tops) / len(tops))
+
+
+def _dispatch_order(points: Sequence[SweepPoint], pending: Sequence[int]) -> List[int]:
+    """Cost-aware dispatch order for the parallel queue.
+
+    Points are grouped by the database they need (contiguous dispatch
+    keeps a worker's local :class:`DatabaseCache` warm) and the groups
+    are ordered heaviest-total-cost first — the longest-processing-time
+    heuristic, so the expensive shapes start immediately and the cheap
+    ones backfill the tail instead of straggling at the end.  Within a
+    group the costliest points go first for the same reason.
+    """
+    groups: Dict[Tuple, List[int]] = {}
+    for i in pending:
+        groups.setdefault(_dispatch_key(points[i]), []).append(i)
+    costs = {i: _cost_estimate(points[i]) for i in pending}
+    order: List[int] = []
+    for _key, members in sorted(
+        groups.items(), key=lambda item: (-sum(costs[i] for i in item[1]), item[0])
+    ):
+        order.extend(sorted(members, key=lambda i: (-costs[i], i)))
+    return order
+
+
+def resolve_jobs(jobs: Any) -> int:
+    """A ``--jobs`` value as a worker count (``"auto"`` → all cores)."""
+    if jobs is None or jobs == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(jobs)
+    if count < 1:
+        raise ValueError("jobs must be >= 1, got %r" % (jobs,))
+    return count
 
 
 def run_sweep(
@@ -968,9 +1053,12 @@ def _run_parallel(
 
     method = "fork" if "fork" in mp.get_all_start_methods() else None
     context = mp.get_context(method)
-    # Group same-database points contiguously so a worker's local
-    # DatabaseCache gets reuse instead of rebuilding per point.
-    order = sorted(pending, key=lambda i: _dispatch_key(points[i]))
+    # Cost-aware longest-first order (see _dispatch_order).  The shared
+    # ``todo`` deque is the work-stealing queue: the parent hands each
+    # free worker exactly one point at a time, so a worker that drains
+    # its database group simply steals the next pending point — no
+    # worker idles behind a static partition while another has backlog.
+    order = _dispatch_order(points, pending)
     todo: "deque[int]" = deque(order)
     attempts: Dict[int, int] = {i: 0 for i in order}
     db_stats: Dict[str, Any] = {}

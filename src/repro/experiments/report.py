@@ -178,6 +178,14 @@ def _round_floats(counters: dict, digits: int = 3) -> dict:
     }
 
 
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` parser: a positive int, or ``auto`` for all cores."""
+    try:
+        return pool.resolve_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -196,9 +204,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes for sweep points (1 = serial, the default)",
+        help="worker processes for sweep points (1 = serial, the "
+        "default; 'auto' = one per core — the resolved count is "
+        "recorded in the telemetry and the run ledger)",
     )
     parser.add_argument(
         "--no-point-cache",
@@ -364,8 +374,15 @@ def main(argv=None) -> int:
     if args.bench_out:
         db_totals = _round_floats(_sum_nested(telemetry, "db"))
         store = pool._db_store()
+        # Schema 4: the per-experiment and total ``db`` counter dicts
+        # gained the attach-path split (``arena_attaches`` /
+        # ``pickle_attaches``) and ``page_payload_pickle_bytes`` — the
+        # page payload bytes that went through pickle, which the CI
+        # asserts is zero on the arena attach path.  ``jobs`` is always
+        # the *resolved* worker count (``--jobs auto`` resolves before
+        # it gets here).
         bench = {
-            "schema": 3,
+            "schema": 4,
             "scale": args.scale,
             "jobs": args.jobs,
             "point_cache": not args.no_point_cache,

@@ -216,6 +216,18 @@ class Tracer:
     ``keep_events=False`` drops the raw event list (aggregates and the
     digest are maintained incrementally), which is what sweep points use
     so traced summaries stay small enough to memoize.
+
+    **Batched emission.**  When no raw events are kept and no previous
+    hook is chained — the pooled-sweep configuration — ``on_io`` runs a
+    fast path: it records only the canonical line plus a per
+    ``(op, relation, kind)`` count, and defers the digest update, the
+    aggregate dictionaries and the metrics-registry increment until the
+    attribution context changes (phase/stage write, operation bracket,
+    or any read of the results).  The digest is fed the identical byte
+    stream (``update(a); update(b)`` == one update of the concatenation)
+    and the counts are exact, so everything observable — including the
+    determinism digest — is bit-identical to per-event emission; only
+    the per-page Python overhead of the bulk scan paths is gone.
     """
 
     def __init__(
@@ -230,9 +242,13 @@ class Tracer:
         )
         self.keep_events = keep_events
         self.events: List[TraceEvent] = []
+        # batched fast path (see class docstring)
+        self._pending: List[str] = []
+        self._pending_groups: Dict[Any, int] = {}
+        self._fast = not keep_events
         # attribution context
-        self.phase: Optional[str] = None
-        self.stage: Optional[str] = None
+        self._phase: Optional[str] = None
+        self._stage: Optional[str] = None
         self.op_kind: Optional[str] = None
         self.op_index: Optional[int] = None
         self.strategy: Optional[str] = None
@@ -253,6 +269,30 @@ class Tracer:
         self._kinds: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
+    # attribution context (writes flush the pending batch first, so a
+    # batch never spans two contexts and deferred attribution is exact)
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> Optional[str]:
+        return self._phase
+
+    @phase.setter
+    def phase(self, value: Optional[str]) -> None:
+        if self._pending:
+            self._flush()
+        self._phase = value
+
+    @property
+    def stage(self) -> Optional[str]:
+        return self._stage
+
+    @stage.setter
+    def stage(self, value: Optional[str]) -> None:
+        if self._pending:
+            self._flush()
+        self._stage = value
+
+    # ------------------------------------------------------------------
     # attachment lifecycle
     # ------------------------------------------------------------------
     def attach(self, disk: Any) -> None:
@@ -261,15 +301,21 @@ class Tracer:
             raise RuntimeError("tracer is already attached to a disk")
         self._disk = disk
         self._prev_hook = disk.io_hook
+        # A chained hook needs every event delivered in order, so only
+        # the unchained aggregate-only tracer may batch.
+        self._fast = not self.keep_events and self._prev_hook is None
         disk.io_hook = self.on_io
 
     def detach(self) -> None:
         """Restore the disk's previous io_hook."""
         if self._disk is None:
             return
+        if self._pending:
+            self._flush()
         self._disk.io_hook = self._prev_hook
         self._disk = None
         self._prev_hook = None
+        self._fast = not self.keep_events
 
     def activate(self) -> None:
         """Make this the process-wide tracer stage annotations target."""
@@ -280,6 +326,8 @@ class Tracer:
 
     def deactivate(self) -> None:
         global _ACTIVE
+        if self._pending:
+            self._flush()
         if _ACTIVE is self:
             _ACTIVE = None
 
@@ -307,6 +355,27 @@ class Tracer:
             info = (normalize_relation(name, kind), kind)
             self._kinds[file_id] = info
         relation, kind = info
+        if self._fast:
+            # Batched path: canonical line + grouped count now, digest /
+            # aggregates / registry at the next context change or read.
+            self._seq += 1
+            self._pending.append(
+                "%s|%s|%d|%s|%s|%s|%s|%s"
+                % (
+                    op,
+                    relation,
+                    page_id.page_no,
+                    kind,
+                    self._phase or "-",
+                    self._stage or "-",
+                    self.op_kind or "-",
+                    "-" if self.op_index is None else self.op_index,
+                )
+            )
+            groups = self._pending_groups
+            group = (op, relation, kind)
+            groups[group] = groups.get(group, 0) + 1
+            return
         event = TraceEvent(
             seq=self._seq,
             op=op,
@@ -314,8 +383,8 @@ class Tracer:
             page_no=page_id.page_no,
             relation=relation,
             kind=kind,
-            phase=self.phase,
-            stage=self.stage,
+            phase=self._phase,
+            stage=self._stage,
             op_kind=self.op_kind,
             op_index=self.op_index,
             strategy=self.strategy,
@@ -331,31 +400,75 @@ class Tracer:
             self.writes += 1
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
         self.by_relation[relation] = self.by_relation.get(relation, 0) + 1
-        if self.phase is not None:
-            self.by_phase[self.phase] = self.by_phase.get(self.phase, 0) + 1
-        if self.stage is not None:
-            self.by_stage[self.stage] = self.by_stage.get(self.stage, 0) + 1
+        if self._phase is not None:
+            self.by_phase[self._phase] = self.by_phase.get(self._phase, 0) + 1
+        if self._stage is not None:
+            self.by_stage[self._stage] = self.by_stage.get(self._stage, 0) + 1
         if self.op_kind is not None:
             self.measured[self.op_kind] += 1
         self.registry.inc(
             "io.pages",
             op=op,
             kind=kind,
-            phase=self.phase or "-",
-            stage=self.stage or "-",
+            phase=self._phase or "-",
+            stage=self._stage or "-",
         )
         if self._prev_hook is not None:
             self._prev_hook(op, page_id)
+
+    def _flush(self) -> None:
+        """Drain the batched events into digest, aggregates and registry.
+
+        The canonical lines are joined with the same ``\\n`` separators
+        the per-event path feeds the digest, so the hash state after a
+        flush is byte-for-byte what unbatched emission would produce.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._digest.update(("\n".join(pending) + "\n").encode())
+        phase, stage_name, op_kind = self._phase, self._stage, self.op_kind
+        by_kind, by_relation = self.by_kind, self.by_relation
+        registry_inc = self.registry.inc
+        total = 0
+        for (op, relation, kind), count in self._pending_groups.items():
+            if op == "read":
+                self.reads += count
+            else:
+                self.writes += count
+            by_kind[kind] = by_kind.get(kind, 0) + count
+            by_relation[relation] = by_relation.get(relation, 0) + count
+            registry_inc(
+                "io.pages",
+                count,
+                op=op,
+                kind=kind,
+                phase=phase or "-",
+                stage=stage_name or "-",
+            )
+            total += count
+        if phase is not None:
+            self.by_phase[phase] = self.by_phase.get(phase, 0) + total
+        if stage_name is not None:
+            self.by_stage[stage_name] = self.by_stage.get(stage_name, 0) + total
+        if op_kind is not None:
+            self.measured[op_kind] += total
+        self._pending = []
+        self._pending_groups = {}
 
     # ------------------------------------------------------------------
     # operation bracketing (driven by run_sequence)
     # ------------------------------------------------------------------
     def begin_op(self, kind: str, index: int) -> None:
+        if self._pending:
+            self._flush()
         self.op_kind = kind
         self.op_index = index
         self._op_start_seq = self._seq
 
     def end_op(self) -> None:
+        if self._pending:
+            self._flush()
         if self.op_kind is not None:
             self.registry.observe(
                 "op.io", self._seq - self._op_start_seq, kind=self.op_kind
@@ -368,14 +481,20 @@ class Tracer:
     # ------------------------------------------------------------------
     @property
     def total(self) -> int:
+        if self._pending:
+            self._flush()
         return self.reads + self.writes
 
     def digest(self) -> str:
         """SHA-256 over the canonical event stream so far."""
+        if self._pending:
+            self._flush()
         return self._digest.hexdigest()
 
     def summary(self) -> Dict[str, Any]:
         """JSON-able aggregate view (what sweep reports carry around)."""
+        if self._pending:
+            self._flush()
         return {
             "events": self._seq,
             "reads": self.reads,

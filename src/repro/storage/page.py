@@ -33,6 +33,7 @@ page, matching Section 4 of the paper.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import FrozenPageError, PageFullError
@@ -41,6 +42,27 @@ DEFAULT_PAGE_SIZE = 2048
 PAGE_HEADER_BYTES = 40
 #: Per-record slot overhead (line-table entry), in bytes.
 SLOT_BYTES = 2
+
+
+class _PickleStats:
+    """Process-wide count of page payload bytes routed through pickle.
+
+    Incremented only when a frozen, codec-bearing page serializes its
+    byte image into a pickle stream (:meth:`Page.__getstate__`).  The
+    arena snapshot format never pickles page payloads — its writer
+    copies raw images directly and its reader builds stubs over an mmap
+    — so this counter staying flat across a store round trip is the
+    measurable definition of "zero-copy": tests and the sweep telemetry
+    assert it.
+    """
+
+    __slots__ = ("payload_bytes",)
+
+    def __init__(self) -> None:
+        self.payload_bytes = 0
+
+
+PICKLE_STATS = _PickleStats()
 
 
 class PageId(NamedTuple):
@@ -139,8 +161,15 @@ class Page:
 
     def _materialize(self) -> List[Any]:
         """Decode the byte image into the working tuple form (lazy)."""
-        assert self.codec is not None and self._buf is not None
-        records = self.codec.decode(self._buf)
+        buf = self._buf
+        assert buf is not None
+        if self.codec is None:
+            # Codec-less arena stub: the image is a pickle of the
+            # decoded lists (see :mod:`repro.storage.arena`), written at
+            # build time and revived here on first read.
+            self.records, self._sizes = pickle.loads(buf)
+            return self.records  # type: ignore[return-value]
+        records = self.codec.decode(buf)
         record_size = self.codec.schema.record_size
         self.records = records
         self._sizes = [record_size(r) for r in records]
@@ -187,9 +216,16 @@ class Page:
         # ``free_bytes`` / ``version`` travel explicitly so fit decisions
         # and derived-view caches are bit-identical across the round trip.
         if self.frozen and self.codec is not None:
-            payload: Any = self.to_bytes()
+            # bytes() also materializes arena stubs, whose cached image
+            # is an unpicklable memoryview into the arena mmap.
+            payload: Any = bytes(self.to_bytes())
+            PICKLE_STATS.payload_bytes += len(payload)
             encoded = True
         else:
+            if self.records is None:
+                # Codec-less arena stub still in byte form: revive the
+                # lists so the pickle carries real payload, not None.
+                self._materialize()
             payload = (self.records, self._sizes)
             encoded = False
         return (

@@ -20,6 +20,7 @@ Records themselves are plain tuples, positionally matched to the schema.
 
 from __future__ import annotations
 
+import copy
 import operator
 import os
 import struct
@@ -246,6 +247,11 @@ class RecordCodec:
         self.schema = schema
         self._compile()
 
+    def __deepcopy__(self, memo: dict) -> "RecordCodec":
+        # Immutable once compiled; snapshot attach deep-copies one per
+        # schema per clone otherwise, for no behavioural difference.
+        return self
+
     # ------------------------------------------------------------------
     def encode(self, records: Sequence[Tuple[Any, ...]]) -> bytes:
         """The slotted byte image of ``records``."""
@@ -317,7 +323,9 @@ class RecordCodec:
                 elif code == CHAR:
                     (length,) = unpack_u16(buf, position)
                     position += 2
-                    values.append(buf[position:position + length].decode("utf-8"))
+                    # str(view, "utf-8") decodes bytes and memoryview
+                    # alike — arena pages hand in mmap-backed views.
+                    values.append(str(buf[position:position + length], "utf-8"))
                     position += length
                 else:  # _OIDS
                     is_list = buf[position]
@@ -362,13 +370,18 @@ class Schema:
         self._var_sizers: Tuple[Tuple[int, Callable[[Any], int]], ...] = tuple(
             (i, f.size_of) for i, f in enumerate(self.fields) if f.fixed_size is None
         )
-        codable = all(
+        #: True when every field type is stateless (no per-database bound
+        #: callables, unlike BlobField's size_fn) — such schemas are
+        #: immutable after construction and safe to share between
+        #: snapshot clones (:meth:`__deepcopy__`) and across arena
+        #: attaches (:mod:`repro.storage.arena`).
+        self.stateless: bool = all(
             isinstance(f, (IntField, CharField, OidListField)) for f in self.fields
         )
         #: The schema's byte codec (None for blob schemas or under the
         #: ``REPRO_TUPLE_PAGES`` debug fallback).
         self.codec: Optional[RecordCodec] = (
-            RecordCodec(self) if codable and not TUPLE_PAGES_ONLY else None
+            RecordCodec(self) if self.stateless and not TUPLE_PAGES_ONLY else None
         )
 
     # ------------------------------------------------------------------
@@ -463,16 +476,32 @@ class Schema:
         state.pop("_var_sizers", None)
         return state
 
+    def __deepcopy__(self, memo: dict) -> "Schema":
+        # Schemas over stateless field types are immutable after
+        # construction (the projector memo only ever grows with idempotent
+        # entries), so snapshot clones share them instead of deep-copying
+        # fields, validators and memos on every memory-tier attach.  Blob
+        # schemas are excluded: a BlobField's size_fn may be bound to
+        # per-database state (the unit cache's payload-size registry),
+        # which each clone must own.
+        if self.stateless:
+            memo[id(self)] = self
+            return self
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        clone.__setstate__(copy.deepcopy(self.__getstate__(), memo))
+        return clone
+
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._validators = tuple(f.validate for f in self.fields)
         self._var_sizers = tuple(
             (i, f.size_of) for i, f in enumerate(self.fields) if f.fixed_size is None
         )
-        codable = all(
+        self.stateless = all(
             isinstance(f, (IntField, CharField, OidListField)) for f in self.fields
         )
-        if codable and not TUPLE_PAGES_ONLY:
+        if self.stateless and not TUPLE_PAGES_ONLY:
             self.codec = RecordCodec(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -20,11 +20,17 @@ This module provides the two pieces that make reuse cheap and safe:
   (:meth:`repro.storage.buffer.BufferPool.writable`), so clones never
   observe each other's updates and the template is never modified.
 
-* :class:`SnapshotStore` — a persistent, process-shared store of pickled
-  snapshots (one file per shape under ``results/.dbcache/``), fronted by
+* :class:`SnapshotStore` — a persistent, process-shared store of frozen
+  databases (one file per shape under ``results/.dbcache/``), fronted by
   a small in-memory LRU.  Pool workers and repeated report runs attach
   in milliseconds instead of rebuilding.  Filenames embed the source
   fingerprint, so any code change orphans every stored snapshot at once.
+  The primary on-disk format is the flat mmap-backed **arena**
+  (:mod:`repro.storage.arena`, ``*.arena``): loading one maps the file
+  read-only and shares its page images across every attach in the
+  process with zero pickling of page payloads.  The legacy framed-pickle
+  format (``*.pkl``) remains readable (and writable via
+  ``format="pickle"``) for comparison benchmarks and old stores.
 
 Copy-on-write never changes measured costs: a real engine modifies the
 already-buffered frame in place, so the private copy is free — page
@@ -44,6 +50,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import CacheCorrupt
 from repro.fault import plan as _fault
 from repro.obs import spans as _spans
+from repro.storage import arena as _arena
+from repro.storage.arena import ArenaSnapshot
 
 
 class Snapshot:
@@ -133,7 +141,11 @@ class SnapshotStore:
 
     FILE_PREFIX = "db-"
 
-    #: Framing of a stored snapshot: magic, 64 hex digest chars, payload.
+    #: On-disk formats: the mmap arena (default) and the legacy pickle.
+    FORMATS = ("arena", "pickle")
+    _SUFFIXES = (".arena", ".pkl")
+
+    #: Framing of a stored pickle snapshot: magic, 64 hex chars, payload.
     MAGIC = b"RSNAP1\n"
     _DIGEST_LEN = 64
 
@@ -159,15 +171,23 @@ class SnapshotStore:
         root: str,
         max_memory_entries: int = 4,
         fingerprint: Optional[str] = None,
+        format: str = "arena",
     ) -> None:
         if fingerprint is None:
             from repro.util.fingerprint import code_fingerprint
 
             fingerprint = code_fingerprint()
+        if format not in self.FORMATS:
+            raise ValueError(
+                "unknown snapshot format %r (choose from %r)"
+                % (format, self.FORMATS)
+            )
         self.root = root
         self.fingerprint = fingerprint
+        self.format = format
         self.max_memory_entries = max_memory_entries
-        self._memory: "OrderedDict[str, Snapshot]" = OrderedDict()
+        #: Memory tier holds Snapshot or ArenaSnapshot handles alike.
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self.stats: Dict[str, int] = {
             "memory_hits": 0,
             "disk_hits": 0,
@@ -177,60 +197,98 @@ class SnapshotStore:
         }
 
     def _path(self, key: str) -> str:
+        """Legacy pickle path for ``key``."""
         return os.path.join(
             self.root, "%s%s-%s.pkl" % (self.FILE_PREFIX, self.fingerprint[:12], key)
         )
 
-    def get(self, key: str) -> Optional[Snapshot]:
-        """The snapshot for ``key``, or None (memory first, then disk).
+    def _arena_path(self, key: str) -> str:
+        return os.path.join(
+            self.root, "%s%s-%s.arena" % (self.FILE_PREFIX, self.fingerprint[:12], key)
+        )
+
+    def get(self, key: str) -> Optional[Any]:
+        """The snapshot for ``key``, or None (memory, arena, then pickle).
 
         A stored file that fails checksum verification — torn write,
         bit rot, or an injected ``snapshot.load`` fault — is quarantined
         and reported as a miss; corruption is never an error here.
+        Arena hits return an :class:`~repro.storage.arena.ArenaSnapshot`
+        backed by the process-wide registry (one mmap + stub build per
+        process); legacy files return a :class:`Snapshot`.
         """
         snapshot = self._memory.get(key)
         if snapshot is not None:
             self._memory.move_to_end(key)
             self.stats["memory_hits"] += 1
             return snapshot
-        path = self._path(key)
-        try:
-            with open(path, "rb") as handle:
-                blob = handle.read()
-        except FileNotFoundError:
-            self.stats["misses"] += 1
-            return None
-        blob = _fault.corrupt_bytes("snapshot.load", blob)
-        try:
-            snapshot = Snapshot.from_bytes(self._unframe(blob))
-        except Exception:
-            # Checksum mismatch, truncated header, or an unpicklable
-            # payload: quarantine the file and treat it as a miss — the
-            # caller rebuilds deterministically and overwrites it.
-            self._quarantine(path)
+        snapshot = self._load_arena(key)
+        if snapshot is None:
+            snapshot = self._load_pickle(key)
+        if snapshot is None:
             self.stats["misses"] += 1
             return None
         self._remember(key, snapshot)
         self.stats["disk_hits"] += 1
         return snapshot
 
+    def _load_arena(self, key: str) -> Optional[ArenaSnapshot]:
+        path = self._arena_path(key)
+        try:
+            state = _arena.registry().load(path)
+        except FileNotFoundError:
+            return None
+        except (CacheCorrupt, OSError, ValueError):
+            # Structural damage (or an injected snapshot.load fault):
+            # quarantine and fall through — the caller rebuilds
+            # deterministically and overwrites the arena.
+            _arena.registry().discard(path)
+            self._quarantine(path)
+            return None
+        return ArenaSnapshot(state)
+
+    def _load_pickle(self, key: str) -> Optional[Snapshot]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return None
+        blob = _fault.corrupt_bytes("snapshot.load", blob)
+        try:
+            return Snapshot.from_bytes(self._unframe(blob))
+        except Exception:
+            # Checksum mismatch, truncated header, or an unpicklable
+            # payload: quarantine the file and treat it as a miss — the
+            # caller rebuilds deterministically and overwrites it.
+            self._quarantine(path)
+            return None
+
     def put(self, key: str, snapshot: Snapshot) -> None:
         """Persist ``snapshot`` under ``key`` (checksummed atomic replace).
 
-        May raise :class:`~repro.errors.FaultInjected` (``snapshot.save``
-        site) or ``OSError``; callers degrade to store-less operation.
+        The store's ``format`` picks the on-disk layout: ``"arena"``
+        (default) writes the flat mmap arena, ``"pickle"`` the legacy
+        framed pickle.  May raise :class:`~repro.errors.FaultInjected`
+        (``snapshot.save`` site) or ``OSError``; callers degrade to
+        store-less operation.
         """
         _fault.hit("snapshot.save")
         self._remember(key, snapshot)
         os.makedirs(self.root, exist_ok=True)
-        blob = self._frame(snapshot.to_bytes())
+        if self.format == "arena":
+            blob = _arena.build_arena(snapshot._db)
+            path = self._arena_path(key)
+        else:
+            blob = self._frame(snapshot.to_bytes())
+            path = self._path(key)
         fd, tmp_path = tempfile.mkstemp(dir=self.root, prefix=".tmp-db-")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(tmp_path, self._path(key))
+            os.replace(tmp_path, path)
         except BaseException:
             try:
                 os.unlink(tmp_path)
@@ -238,6 +296,18 @@ class SnapshotStore:
                 pass
             raise
         self.stats["puts"] += 1
+        if self.format == "arena":
+            # Serve same-process re-attaches from the arena we just
+            # wrote, not the builder's Snapshot: the memory tier then
+            # hands out the exact object a cold process would load, so
+            # cold and warm attaches take one code path (and the much
+            # cheaper one — metadata-only unpickle, zero payload bytes).
+            try:
+                state = _arena.registry().load(path)
+            except Exception:
+                pass  # keep the Snapshot; the next disk read re-verifies
+            else:
+                self._remember(key, ArenaSnapshot(state))
 
     def _quarantine(self, path: str) -> None:
         """Move a corrupt file aside (``*.corrupt``) so reloads miss it."""
@@ -262,8 +332,9 @@ class SnapshotStore:
     def entries(self) -> List[Tuple[str, int, float]]:
         """``(filename, bytes, mtime)`` for every stored snapshot file.
 
-        Lists *all* fingerprints, not just the current one, so stale
-        files are visible (and countable) before a ``clear``.
+        Lists *all* fingerprints and both on-disk formats (``*.arena``
+        and legacy ``*.pkl``), not just the current one, so stale files
+        are visible (and countable) before a ``clear``.
         """
         out: List[Tuple[str, int, float]] = []
         try:
@@ -271,7 +342,10 @@ class SnapshotStore:
         except FileNotFoundError:
             return out
         for name in names:
-            if not (name.startswith(self.FILE_PREFIX) and name.endswith(".pkl")):
+            if not (
+                name.startswith(self.FILE_PREFIX)
+                and name.endswith(self._SUFFIXES)
+            ):
                 continue  # skips quarantined *.corrupt files too
             path = os.path.join(self.root, name)
             try:
@@ -285,18 +359,23 @@ class SnapshotStore:
         return sum(size for _, size, _ in self.entries())
 
     def clear(self) -> int:
-        """Delete every stored (and quarantined) file; return how many."""
+        """Delete every stored (and quarantined) file, both formats."""
         removed = 0
         try:
             names = sorted(os.listdir(self.root))
         except FileNotFoundError:
             names = []
         for name in names:
-            is_stored = name.startswith(self.FILE_PREFIX) and name.endswith(".pkl")
+            is_stored = name.startswith(self.FILE_PREFIX) and name.endswith(
+                self._SUFFIXES
+            )
             if not (is_stored or name.endswith(".corrupt")):
                 continue
+            path = os.path.join(self.root, name)
+            if name.endswith(".arena"):
+                _arena.registry().discard(path)
             try:
-                os.unlink(os.path.join(self.root, name))
+                os.unlink(path)
                 removed += 1
             except OSError:
                 pass

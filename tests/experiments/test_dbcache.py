@@ -57,6 +57,29 @@ class TestDigestEquality:
         assert cold == fresh
         assert warm == fresh
 
+    @pytest.mark.parametrize("strategy", ["BFS", "DFSCACHE", "PROC-CACHE-OIDS"])
+    def test_every_attach_path_agrees(self, strategy, tmp_path):
+        """Fresh build, legacy-pickle attach and arena attach: one digest."""
+        params = WorkloadParams().scaled(SCALE)
+        point = _point(params, strategy)
+        fresh = pool.execute_point(point, DatabaseCache())
+        results = {}
+        for fmt in ("pickle", "arena"):
+            root = str(tmp_path / fmt)
+            # Populate, then re-open so the point really attaches from disk.
+            pool.execute_point(
+                point, DatabaseCache(store=SnapshotStore(root, format=fmt))
+            )
+            warm = DatabaseCache(store=SnapshotStore(root, format=fmt))
+            results[fmt] = pool.execute_point(point, warm)
+            assert warm.builds == 0
+            assert (warm.arena_attaches, warm.pickle_attaches) == (
+                (1, 0) if fmt == "arena" else (0, 1)
+            )
+        for fmt, result in results.items():
+            assert result["traced"]["digest"] == fresh["traced"]["digest"], fmt
+            assert result == fresh, fmt
+
 
 class TestDatabaseCacheWithStore:
     def test_miss_builds_then_hit_attaches(self, tiny_params, tmp_path):
@@ -128,6 +151,22 @@ class TestSweepTelemetry:
         assert entry["db"]["builds"] == 0
         assert entry["db"]["attaches"] == 1
         assert entry["db"]["memory_hits"] + entry["db"]["disk_hits"] == 1
+
+    def test_arena_attaches_pickle_zero_payload_bytes(
+        self, tiny_params, tmp_path, store_guard
+    ):
+        """The zero-copy contract, end to end through the sweep engine:
+
+        a warm arena-backed sweep attaches from the arena only and no
+        page payload byte goes through pickle anywhere in the interval.
+        """
+        pool.configure_db_store(str(tmp_path / "dbcache"))
+        run_sweep([_point(tiny_params, "BFS")])
+        run_sweep([_point(tiny_params, "BFS", num_retrieves=4)])
+        entry = pool.SWEEP_LOG[-1]
+        assert entry["db"]["arena_attaches"] == 1
+        assert entry["db"]["pickle_attaches"] == 0
+        assert entry["db"]["page_payload_pickle_bytes"] == 0
 
 
 class TestSharedStoreAcrossWorkers:

@@ -1,0 +1,177 @@
+"""Mmap snapshot arenas: round trip, corruption recovery, COW, zero-pickle."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.storage import arena
+from repro.storage.arena import ArenaSnapshot, build_arena
+from repro.storage.page import PICKLE_STATS
+from repro.storage.snapshot import Snapshot, SnapshotStore
+from repro.workload.generator import build_database
+
+
+@pytest.fixture
+def frozen_db(tiny_params):
+    return Snapshot.freeze(build_database(tiny_params))._db
+
+
+@pytest.fixture
+def arena_path(frozen_db, tmp_path):
+    path = str(tmp_path / "db.arena")
+    with open(path, "wb") as handle:
+        handle.write(build_arena(frozen_db))
+    return path
+
+
+def _load(path):
+    # Bypass the process-wide registry so every test sees a fresh parse.
+    return arena._load_state(path)
+
+
+def _frozen_pages(db):
+    return [
+        page
+        for pages in db.disk._files.values()
+        for page in pages
+        if page.frozen
+    ]
+
+
+class TestRoundTrip:
+    def test_every_page_image_round_trips_exactly(self, frozen_db, arena_path):
+        state = _load(arena_path)
+        originals = {p.page_id: p for p in _frozen_pages(frozen_db)}
+        assert len(state._stubs) == len(originals) > 0
+        assert any(s.codec is None for s in state._stubs)  # blob/index pages too
+        for stub in state._stubs:
+            original = originals[stub.page_id]
+            if stub.codec is not None:
+                # Codec pages: the raw slotted image, byte for byte.
+                assert bytes(stub._buf) == bytes(original.to_bytes())
+            else:
+                # Codec-less pages: the pickled lists revive exactly.
+                assert stub.record_batch() == original.record_batch()
+                assert stub._sizes == original._sizes
+            assert stub.used_bytes == original.used_bytes
+            assert stub.version == original.version
+            assert stub.frozen
+
+    def test_stub_buffers_are_views_into_the_mapping(self, arena_path):
+        state = _load(arena_path)
+        assert all(type(s._buf) is memoryview for s in state._stubs)
+        assert all(s.records is None for s in state._stubs)  # still lazy
+
+    def test_attached_clone_answers_queries_like_the_original(
+        self, frozen_db, arena_path
+    ):
+        clone = _load(arena_path).attach()
+        rel_index, keys = clone.unit_ref_of(clone.fetch_parent(1))
+        original = Snapshot(frozen_db).attach()
+        assert clone.fetch_child(rel_index, keys[0]) == original.fetch_child(
+            rel_index, keys[0]
+        )
+
+    def test_clone_shares_stub_pages_across_attaches(self, arena_path):
+        state = _load(arena_path)
+        one, two = state.attach(), state.attach()
+        page_one = next(
+            p for ps in one.disk._files.values() for p in ps if p.codec is not None
+        )
+        page_two = two.disk._files[page_one.page_id.file_id][page_one.page_id.page_no]
+        assert page_one is page_two  # same stub: shared decode cache
+
+    def test_stub_pages_survive_pickling(self, arena_path):
+        # A clone's frozen stub holds a memoryview into the mmap; pickling
+        # (e.g. a debugging dump) must transparently materialize bytes.
+        stub = _load(arena_path)._stubs[0]
+        revived = pickle.loads(pickle.dumps(stub))
+        assert list(revived.iter_records()) == list(stub.iter_records())
+
+
+class TestCorruption:
+    def _flip(self, path, offset):
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_bad_magic_is_corrupt(self, arena_path):
+        self._flip(arena_path, 0)
+        with pytest.raises(Exception):
+            _load(arena_path)
+
+    def test_flipped_index_byte_is_corrupt(self, arena_path):
+        # Just past the header JSON: inside the checksummed index region.
+        size = os.path.getsize(arena_path)
+        self._flip(arena_path, min(600, size - 1))
+        with pytest.raises(Exception):
+            _load(arena_path)
+
+    def test_truncation_is_corrupt(self, arena_path):
+        size = os.path.getsize(arena_path)
+        with open(arena_path, "r+b") as handle:
+            handle.truncate(size - 1)
+        with pytest.raises(Exception):
+            _load(arena_path)
+
+    def test_store_quarantines_and_rebuilds(self, tiny_params, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.put("k", Snapshot.freeze(build_database(tiny_params)))
+        path = store._arena_path("k")
+        with open(path, "r+b") as handle:
+            handle.truncate(32)
+        # The writing process's registry pins the pre-damage mapping;
+        # drop it to model a fresh process meeting the damaged file.
+        arena.registry().discard(path)
+        fresh = SnapshotStore(str(tmp_path))
+        assert fresh.get("k") is None  # miss: caller rebuilds
+        assert fresh.stats["corrupt"] == 1
+        assert os.path.exists(path + ".corrupt")
+        # The deterministic rebuild overwrites the quarantined entry.
+        fresh.put("k", Snapshot.freeze(build_database(tiny_params)))
+        again = SnapshotStore(str(tmp_path))
+        assert isinstance(again.get("k"), ArenaSnapshot)
+
+
+class TestCowIsolation:
+    def test_clone_mutation_is_invisible_to_other_clones(self, arena_path):
+        state = _load(arena_path)
+        one, two = state.attach(), state.attach()
+        rel_index, keys = one.unit_ref_of(one.fetch_parent(1))
+        key = keys[0]
+        ret1 = one.child_schema.field_index("ret1")
+        before = two.fetch_child(rel_index, key)
+        one.apply_update([(rel_index, key)], 424242)
+        assert one.fetch_child(rel_index, key)[ret1] == 424242
+        assert two.fetch_child(rel_index, key) == before
+
+    def test_mutation_never_touches_the_mapped_images(self, arena_path):
+        state = _load(arena_path)
+        images_before = [bytes(s._buf) for s in state._stubs]
+        clone = state.attach()
+        rel_index, keys = clone.unit_ref_of(clone.fetch_parent(1))
+        clone.apply_update([(rel_index, keys[0])], 999)
+        assert [bytes(s._buf) for s in state._stubs] == images_before
+        assert all(s.frozen for s in state._stubs)
+
+
+class TestZeroPickle:
+    def test_arena_round_trip_pickles_zero_payload_bytes(
+        self, tiny_params, tmp_path
+    ):
+        before = PICKLE_STATS.payload_bytes
+        store = SnapshotStore(str(tmp_path))
+        store.put("k", Snapshot.freeze(build_database(tiny_params)))
+        revived = SnapshotStore(str(tmp_path)).get("k")
+        assert isinstance(revived, ArenaSnapshot)
+        revived.attach()
+        assert PICKLE_STATS.payload_bytes == before
+
+    def test_legacy_pickle_round_trip_is_counted(self, tiny_params, tmp_path):
+        before = PICKLE_STATS.payload_bytes
+        store = SnapshotStore(str(tmp_path), format="pickle")
+        store.put("k", Snapshot.freeze(build_database(tiny_params)))
+        assert PICKLE_STATS.payload_bytes > before

@@ -1,8 +1,11 @@
 """Copy-on-write snapshots: frozen pages, clone isolation, the store."""
 
+import os
+
 import pytest
 
 from repro.errors import FrozenPageError
+from repro.storage import arena
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page, PageId
@@ -207,12 +210,34 @@ class TestSnapshotStore:
     def test_corrupt_file_is_a_miss(self, tiny_params, tmp_path):
         store = SnapshotStore(str(tmp_path))
         store.put("k", self._snapshot(tiny_params))
-        path = store._path("k")
+        path = store._arena_path("k")
         with open(path, "wb") as handle:
+            handle.write(b"not an arena")
+        # Model a fresh process: the writer's registry pins the
+        # pre-damage mapping, a new process parses the file anew.
+        arena.registry().discard(path)
+        fresh = SnapshotStore(str(tmp_path))
+        assert fresh.get("k") is None
+        assert fresh.stats["misses"] == 1
+        assert fresh.stats["corrupt"] == 1
+        assert os.path.exists(path + ".corrupt")
+
+    def test_corrupt_legacy_pickle_is_a_miss(self, tiny_params, tmp_path):
+        store = SnapshotStore(str(tmp_path), format="pickle")
+        store.put("k", self._snapshot(tiny_params))
+        with open(store._path("k"), "wb") as handle:
             handle.write(b"not a pickle")
         fresh = SnapshotStore(str(tmp_path))
         assert fresh.get("k") is None
         assert fresh.stats["misses"] == 1
+
+    def test_legacy_pickle_format_round_trips(self, tiny_params, tmp_path):
+        store = SnapshotStore(str(tmp_path), format="pickle")
+        store.put("k", self._snapshot(tiny_params))
+        fresh = SnapshotStore(str(tmp_path))  # arena-first store reads it
+        revived = fresh.get("k")
+        assert isinstance(revived, Snapshot)
+        assert fresh.stats["disk_hits"] == 1
 
     def test_clear_and_bytes_on_disk(self, tiny_params, tmp_path):
         store = SnapshotStore(str(tmp_path))
