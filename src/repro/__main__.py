@@ -15,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
@@ -221,6 +222,34 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         faults=args.faults,
         phase=args.phase,
         kill_after=args.kill_after,
+        serve_duration=args.serve_duration,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.pool import RetryPolicy
+    from repro.serve.run import run_serve
+
+    policy = RetryPolicy()
+    if args.max_retries is not None:
+        policy = dataclasses.replace(policy, max_retries=args.max_retries)
+    return run_serve(
+        scale=args.scale,
+        clients=args.clients,
+        duration=args.duration,
+        readers=args.readers,
+        queue_depth=args.queue_depth,
+        publish_interval=args.publish_interval,
+        pr_update=args.pr_update,
+        strategy=args.strategy,
+        deadline_seconds=args.deadline,
+        seed=args.seed,
+        storm=args.storm,
+        verify=not args.no_verify,
+        out=args.out,
+        ledger=not args.no_ledger,
+        json_out=args.json_out,
+        policy=policy,
     )
 
 
@@ -525,15 +554,62 @@ def build_parser() -> argparse.ArgumentParser:
                        "snapshot.load, snapshot.save, pointcache.load, "
                        "pointcache.save, worker.crash, worker.hang, "
                        "point.poison, sweep.kill)")
-    chaos.add_argument("--phase", choices=("all", "kill", "resume"),
+    chaos.add_argument("--phase", choices=("all", "kill", "resume", "serve"),
                        default="all",
                        help="all: reference/cold/warm digest comparison; "
                        "kill: SIGKILL the sweep after --kill-after points "
                        "(exits 137); resume: resume it and verify the "
-                       "checkpoint")
+                       "checkpoint; serve: run the MVCC serving layer under "
+                       "publish-crash/reader-hang/queue-stall faults and "
+                       "verify against the serial oracle")
     chaos.add_argument("--kill-after", dest="kill_after", type=int, default=2,
                        help="completed points before the kill fault fires")
+    chaos.add_argument("--serve-duration", dest="serve_duration", type=float,
+                       default=3.0,
+                       help="seconds the serve phase drives client load")
     _add_policy_flags(chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the retrieve/update mix from MVCC snapshots with N "
+        "simulated clients; report throughput, latency percentiles and "
+        "publish lag",
+    )
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client threads")
+    serve.add_argument("--duration", type=float, default=5.0,
+                       help="seconds of client load")
+    serve.add_argument("--readers", type=int, default=4,
+                       help="server reader threads")
+    serve.add_argument("--queue-depth", dest="queue_depth", type=int,
+                       default=64,
+                       help="bounded admission queue capacity")
+    serve.add_argument("--publish-interval", dest="publish_interval",
+                       type=float, default=0.05,
+                       help="seconds between version publishes")
+    serve.add_argument("--pr-update", dest="pr_update", type=float,
+                       default=0.2,
+                       help="per-request update probability")
+    serve.add_argument("--strategy", default="BFS", choices=sorted(REGISTRY))
+    serve.add_argument("--deadline", type=float, default=2.0,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--storm", type=int, default=0,
+                       help="overload factor: run nominal/storm/recovery "
+                       "phases with STORM x clients in the middle")
+    serve.add_argument("--max-retries", dest="max_retries", type=int,
+                       default=None,
+                       help="client retries after an overload rejection "
+                       "(default 2)")
+    serve.add_argument("--no-verify", dest="no_verify", action="store_true",
+                       help="skip the serial oracle replay")
+    serve.add_argument("--out", default="results",
+                       help="results directory (snapshot store + ledger)")
+    serve.add_argument("--no-ledger", dest="no_ledger", action="store_true",
+                       help="skip appending a kind=serve ledger record")
+    serve.add_argument("--json-out", dest="json_out", default=None,
+                       help="write the full run summary as JSON")
 
     footprint = sub.add_parser("footprint", help="show per-relation pages")
     footprint.add_argument("--scale", type=float, default=0.1)
@@ -591,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": cmd_chaos,
         "bench": cmd_bench,
         "perf": cmd_perf,
+        "serve": cmd_serve,
     }
     try:
         return handlers[args.command](args)

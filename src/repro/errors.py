@@ -98,6 +98,37 @@ class WorkerLost(ReproError):
     """A sweep worker crashed, hung past its deadline, or its pool broke."""
 
 
+class DeadlineExceeded(ReproError):
+    """A cooperative monotonic deadline expired.
+
+    Raised by :meth:`repro.util.deadline.Deadline.check` (and the
+    driver's per-operation check) when the enclosing operation outlived
+    its budget.  Unlike a ``SIGALRM`` timeout this works on any thread —
+    the sweep engine translates it into :class:`WorkerLost` so retry
+    accounting is identical on both paths.
+    """
+
+
+class Overloaded(ReproError):
+    """The serving layer fast-rejected a request (admission control).
+
+    ``reason`` says why: ``"queue_full"`` (the bounded admission queue
+    hit its depth limit), ``"shed_updates"`` / ``"shed_traced"`` (a
+    degradation tier is shedding that request class), or ``"deadline"``
+    (the request's deadline had already expired at admission).  Clients
+    treat this as retryable with backoff; nothing was executed.
+    """
+
+    def __init__(self, reason: str, depth: int = 0, tier: str = "nominal") -> None:
+        super().__init__(
+            "server overloaded: %s (queue depth %d, tier %s)"
+            % (reason, depth, tier)
+        )
+        self.reason = reason
+        self.depth = depth
+        self.tier = tier
+
+
 class PointFailed(ReproError):
     """A sweep point could not be measured (bad spec or retries exhausted).
 

@@ -83,6 +83,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.strategies.base import make_strategy
 from repro.errors import (
     CacheCorrupt,
+    DeadlineExceeded,
     FaultInjected,
     PointFailed,
     SweepInterrupted,
@@ -92,6 +93,7 @@ from repro.experiments.runner import DatabaseCache, adaptive_queries
 from repro.fault import plan as _fault
 from repro.obs import spans as _spans
 from repro.storage.snapshot import SnapshotStore
+from repro.util import deadline as _deadline
 from repro.util.fingerprint import code_fingerprint  # noqa: F401  (re-export)
 from repro.workload.driver import CostReport, run_sequence
 from repro.workload.params import WorkloadParams
@@ -140,10 +142,14 @@ class RetryPolicy:
     ``max_retries`` is per point (so a point runs at most
     ``max_retries + 1`` times); ``backoff_seconds`` is the base of the
     exponential backoff between attempts; ``point_timeout`` bounds one
-    execution (SIGALRM in serial runs, parent-side watchdog for pool
-    workers; ``None`` disables); ``max_pool_restarts`` bounds how often
-    a crashed or hung worker pool is rebuilt before the sweep degrades
-    to serial execution.
+    execution (a cooperative monotonic deadline on every thread, a
+    SIGALRM backstop on the main thread, and the parent-side watchdog
+    for pool workers; ``None`` disables); ``max_pool_restarts`` bounds
+    how often a crashed or hung worker pool is rebuilt before the sweep
+    degrades to serial execution.
+
+    The serving layer reuses this policy for client-side retry with
+    jittered exponential backoff (:mod:`repro.serve.clients`).
     """
 
     max_retries: int = 2
@@ -604,28 +610,42 @@ def _execute_deep(point: SweepPoint, db_cache: Optional[DatabaseCache]) -> float
 def _point_deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`WorkerLost` if the body outlives ``seconds``.
 
-    Implemented with ``SIGALRM``, so it only engages on platforms that
-    have it and in the process's main thread; elsewhere it is a no-op
-    (pool runs still get the parent-side watchdog).
+    Two mechanisms layer.  A cooperative monotonic
+    :class:`~repro.util.deadline.Deadline` is enforced for the body
+    (the measurement driver checks it between operations), which works
+    on *any* thread — the historic bug was that ``SIGALRM`` silently
+    no-opped off the main thread, so embedded or threaded sweeps ran
+    without a timeout.  On the main thread of SIGALRM platforms the
+    alarm stays armed as a backstop that interrupts even a single
+    operation that never reaches a cooperative checkpoint.  Both paths
+    surface as :class:`WorkerLost`, so retry/timeout accounting is
+    identical regardless of which one fired.
     """
-    if (
-        not seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not seconds:
         yield
         return
+    use_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
 
     def _timed_out(signum: int, frame: Any) -> None:
         raise WorkerLost("point exceeded its %.3gs deadline" % seconds)
 
-    previous = signal.signal(signal.SIGALRM, _timed_out)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _timed_out)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield
+        with _deadline.enforced(_deadline.Deadline.after(seconds)):
+            yield
+    except DeadlineExceeded:
+        raise WorkerLost(
+            "point exceeded its %.3gs deadline" % seconds
+        ) from None
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 def _execute_with_recovery(

@@ -381,8 +381,12 @@ def main(argv=None) -> int:
         # asserts is zero on the arena attach path.  ``jobs`` is always
         # the *resolved* worker count (``--jobs auto`` resolves before
         # it gets here).
+        # Schema 5: records ``ledger_schema`` — the run ledger gained
+        # the ``kind="serve"`` record family (ledger schema 2), and the
+        # bench artifact is where that coupling is pinned for CI.
         bench = {
-            "schema": 4,
+            "schema": 5,
+            "ledger_schema": _ledger.LEDGER_SCHEMA,
             "scale": args.scale,
             "jobs": args.jobs,
             "point_cache": not args.no_point_cache,

@@ -220,6 +220,39 @@ class DatabaseCache:
         key = ("deep", params)
         return self._materialize(key, lambda: build_deep_database(params))
 
+    def snapshot_for(
+        self,
+        params: WorkloadParams,
+        clustering: bool = False,
+        cache: bool = False,
+        procedural: bool = False,
+    ):
+        """The immutable snapshot template for a shape (snapshot mode only).
+
+        The serving layer builds its MVCC version chain on top of the
+        template itself — epoch 0 is this snapshot, later epochs are
+        frozen clones — so it needs the template handle, not the
+        pre-attached clone :meth:`get` returns.  Shares the store (and
+        therefore built artifacts) with report/sweep runs of the same
+        shape.
+        """
+        if not self.snapshot_mode:
+            raise ValueError("snapshot_for requires a store-backed cache")
+        key = self.shape_key(params, clustering, cache, procedural)
+        snapshot = self._cache.get(key)
+        if snapshot is None:
+            snapshot = self._obtain_snapshot(
+                key,
+                lambda: build_database(
+                    params, clustering=clustering, cache=cache, procedural=procedural
+                ),
+            )
+            self._cache[key] = snapshot
+            self._evict_over_bound()
+        elif self.max_entries is not None:
+            self._cache.move_to_end(key)
+        return snapshot
+
     def _materialize(self, key: Tuple, build) -> Any:
         """A runnable database for ``key``.
 

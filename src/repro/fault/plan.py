@@ -27,6 +27,12 @@ only decides *whether* to fire):
 ``worker.hang``       pool worker sleeps past the point deadline
 ``point.poison``      every execution of a point raises (quarantine path)
 ``sweep.kill``        the process SIGKILLs itself between sweep points
+``serve.publish_crash``  the serve writer raises after applying its batch
+                      but *before* publishing (attempt discarded, rebuilt)
+``serve.reader_hang``  a serve reader sleeps ``hang_seconds`` mid-request,
+                      pinning its snapshot past later publishes
+``serve.queue_stall``  a serve reader sleeps before dequeueing, backing
+                      the bounded admission queue up into load-shedding
 ====================  ====================================================
 
 Injection is globally off until :func:`install` is called (the guard is
@@ -40,6 +46,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -61,6 +68,9 @@ SITES = (
     "worker.hang",
     "point.poison",
     "sweep.kill",
+    "serve.publish_crash",
+    "serve.reader_hang",
+    "serve.queue_stall",
 )
 
 #: Sites that may only fire inside a pool worker process.
@@ -119,6 +129,10 @@ class FaultPlan:
         self.opportunities: Dict[str, int] = {site: 0 for site in self.specs}
         self.injections: Dict[str, int] = {site: 0 for site in self.specs}
         self._rngs: Dict[str, object] = {}
+        # The serving layer fires sites from many threads at once; the
+        # lock keeps the counters (and per-site RNG streams) coherent.
+        # Sites without a spec never take it (fire() returns first).
+        self._lock = threading.Lock()
 
     # RNG objects are recreated lazily after unpickling, and counters
     # restart: a worker's schedule begins at its own first opportunity.
@@ -139,20 +153,21 @@ class FaultPlan:
         spec = self.specs.get(site)
         if spec is None:
             return False
-        self.opportunities[site] += 1
-        if self.opportunities[site] <= spec.after:
-            return False
-        if spec.count is not None and self.injections[site] >= spec.count:
-            return False
-        if spec.rate < 1.0:
-            rng = self._rngs.get(site)
-            if rng is None:
-                stream = zlib.crc32(site.encode("utf-8"))
-                rng = self._rngs[site] = derive_rng(self.seed, stream=stream)
-            if rng.random() >= spec.rate:  # type: ignore[attr-defined]
+        with self._lock:
+            self.opportunities[site] += 1
+            if self.opportunities[site] <= spec.after:
                 return False
-        self.injections[site] += 1
-        return True
+            if spec.count is not None and self.injections[site] >= spec.count:
+                return False
+            if spec.rate < 1.0:
+                rng = self._rngs.get(site)
+                if rng is None:
+                    stream = zlib.crc32(site.encode("utf-8"))
+                    rng = self._rngs[site] = derive_rng(self.seed, stream=stream)
+                if rng.random() >= spec.rate:  # type: ignore[attr-defined]
+                    return False
+            self.injections[site] += 1
+            return True
 
     def counters(self) -> Dict[str, Dict[str, int]]:
         """Snapshot of opportunities seen and faults injected, by site."""
@@ -212,7 +227,7 @@ def hit(site: str) -> None:
         return
     if site == "worker.crash":
         os._exit(3)
-    if site == "worker.hang":
+    if site in ("worker.hang", "serve.reader_hang", "serve.queue_stall"):
         time.sleep(plan.hang_seconds)
         return
     if site == "sweep.kill":

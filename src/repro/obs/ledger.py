@@ -10,16 +10,23 @@ telemetry must not sink a run.
 
 Record schema (``schema`` = :data:`LEDGER_SCHEMA`):
 
-* common: ``schema``, ``kind`` (``"report"`` | ``"micro"``), ``ts``
-  (unix seconds), ``git`` (short revision or ``"unknown"``),
-  ``python``, ``fingerprint`` (source fingerprint prefix);
+* common: ``schema``, ``kind`` (``"report"`` | ``"micro"`` |
+  ``"serve"``), ``ts`` (unix seconds), ``git`` (short revision or
+  ``"unknown"``), ``python``, ``fingerprint`` (source fingerprint
+  prefix);
 * ``kind == "report"``: ``scale``, ``jobs``, ``total_seconds``,
   ``experiments`` (name → wall seconds / point counts), ``buffer``,
   ``db``, ``point_cache``, ``faults`` and ``spans`` — the
   :meth:`~repro.obs.spans.SpanProfiler.rollups` of the run, keyed by
   ``;``-joined span path with count/total/self/p50/p95/p99 ms;
 * ``kind == "micro"``: ``benchmarks`` (name → ns-per-op summary from
-  ``repro bench``).
+  ``repro bench``);
+* ``kind == "serve"`` (schema >= 2): serving-layer configuration
+  (``scale``, ``clients``, ``readers``, ``queue_depth``,
+  ``publish_interval``, ``pr_update``, ``strategy``, ``duration``),
+  ``requests`` counters, per-kind latency percentiles (``latency_ms``),
+  ``publish`` counters (publishes, crashes, lag percentiles, live/max
+  versions) and the ``verified`` oracle outcome.
 
 Wall-clock numbers in the ledger are *annotations*: nothing here feeds
 measured I/O counts, trace digests or cached point payloads.
@@ -33,7 +40,8 @@ import time
 from typing import Any, Dict, List, Optional
 
 #: Version stamp on every record; bump on incompatible shape changes.
-LEDGER_SCHEMA = 1
+#: 2: adds the ``kind == "serve"`` record family (serving-layer runs).
+LEDGER_SCHEMA = 2
 
 #: Default ledger filename (under the report output directory).
 LEDGER_FILENAME = "ledger.jsonl"
@@ -202,6 +210,41 @@ def report_record(
         record["fault_config"] = fault_config
     if spans:
         record["spans"] = spans
+    return record
+
+
+def serve_record(
+    *,
+    config: Dict[str, Any],
+    requests: Dict[str, Any],
+    latency_ms: Dict[str, Dict[str, float]],
+    publish: Dict[str, Any],
+    admission: Dict[str, Any],
+    verified: Optional[bool],
+    fingerprint: str,
+) -> Dict[str, Any]:
+    """One ``kind="serve"`` ledger record from a serving-layer run.
+
+    ``config`` carries the run shape (scale/clients/readers/...),
+    ``latency_ms`` maps request kind to p50/p95/p99 client latency, and
+    ``publish`` the version-chain counters plus publish-lag percentiles
+    — the fields ``repro perf`` trends and regression-gates.
+    """
+    import sys
+
+    record: Dict[str, Any] = {
+        "schema": LEDGER_SCHEMA,
+        "kind": "serve",
+        "git": git_revision(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "fingerprint": fingerprint,
+        "requests": requests,
+        "latency_ms": latency_ms,
+        "publish": publish,
+        "admission": admission,
+        "verified": verified,
+    }
+    record.update(config)
     return record
 
 

@@ -9,7 +9,10 @@ wants:
   diff of the two most recent *comparable* runs (same scale and jobs)
   with regressions past the threshold flagged, then the latest run's
   span rollups (count, total, p50/p95/p99 ms per span path), then —
-  when ``repro bench`` records exist — the micro-benchmark trajectory;
+  when ``repro bench`` records exist — the micro-benchmark trajectory,
+  then — when ``repro serve`` records exist — the serving-layer trend
+  (throughput, latency percentiles, publish lag) with p95 latency
+  regressions flagged at the same threshold;
 * **flame**: collapsed-stack output for flamegraph.pl / speedscope,
   either from a fresh span-profiled measurement run (the default) or
   converted from a ``--profile`` cProfile dump (``--pstats``).
@@ -194,6 +197,65 @@ def render_micro(records: List[Dict[str, Any]]) -> Optional[str]:
     )
 
 
+def render_serve(
+    records: List[Dict[str, Any]],
+    last: int = 10,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[Optional[str], List[str]]:
+    """Serve-run trend table plus flagged p95 latency regressions.
+
+    One row per ``kind="serve"`` ledger record: throughput, client-side
+    retrieve latency percentiles, publish-lag p95 and shed counts.  The
+    latest run's retrieve p95 is compared against the most recent
+    earlier run with the same scale/clients/readers shape; growth past
+    ``threshold`` is flagged exactly like sweep wall-time regressions.
+    """
+    if not records:
+        return None, []
+    rows = []
+    for record in records[-last:]:
+        latency = record.get("latency_ms", {}).get("retrieve", {})
+        publish = record.get("publish", {})
+        requests = record.get("requests", {})
+        rows.append(
+            [
+                _when(record),
+                record.get("git", "?"),
+                record.get("scale", "?"),
+                record.get("clients", "?"),
+                record.get("throughput_rps", "?"),
+                "%.1f" % latency.get("p50", 0.0),
+                "%.1f" % latency.get("p95", 0.0),
+                "%.1f" % latency.get("p99", 0.0),
+                "%.1f" % publish.get("lag_ms", {}).get("p95", 0.0),
+                requests.get("shed", 0),
+                {True: "yes", False: "NO", None: "-"}[record.get("verified")],
+            ]
+        )
+    table = format_table(
+        ["when", "git", "scale", "clients", "rps", "p50_ms", "p95_ms",
+         "p99_ms", "lag_p95", "shed", "verified"],
+        rows,
+        title="Serve runs (%d of %d in ledger)" % (len(rows), len(records)),
+    )
+    flagged: List[str] = []
+    latest = records[-1]
+    for earlier in reversed(records[:-1]):
+        if all(
+            earlier.get(key) == latest.get(key)
+            for key in ("scale", "clients", "readers")
+        ):
+            before = earlier.get("latency_ms", {}).get("retrieve", {}).get("p95")
+            after = latest.get("latency_ms", {}).get("retrieve", {}).get("p95")
+            if before and after and (after - before) / before > threshold:
+                flagged.append(
+                    "serve retrieve p95: %.1fms -> %.1fms (+%.0f%%)"
+                    % (before, after, (after - before) / before * 100.0)
+                )
+            break
+    return table, flagged
+
+
 def perf_trend(
     out_dir: str, last: int = 10, threshold: float = DEFAULT_THRESHOLD
 ) -> int:
@@ -201,7 +263,8 @@ def perf_trend(
     ledger = RunLedger(os.path.join(out_dir, LEDGER_FILENAME))
     reports = ledger.read("report")
     micro = ledger.read("micro")
-    if not reports and not micro:
+    serves = ledger.read("serve")
+    if not reports and not micro and not serves:
         print(
             "no ledger at %s — run `repro report` (or `repro bench`) first"
             % ledger.path
@@ -231,6 +294,13 @@ def perf_trend(
     if micro_table:
         print()
         print(micro_table)
+    serve_table, serve_flagged = render_serve(
+        serves, last=last, threshold=threshold
+    )
+    if serve_table:
+        print()
+        print(serve_table)
+        flagged.extend(serve_flagged)
     if flagged:
         print()
         for line in flagged:

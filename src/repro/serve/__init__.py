@@ -1,0 +1,28 @@
+"""The MVCC snapshot serving layer (``repro serve``).
+
+A thread-pool front-end over the copy-on-write snapshot machinery:
+readers serve the paper's retrieve mix from immutable published
+versions, a single writer batches updates into the next version and
+publishes it atomically, and an explicit robustness envelope — bounded
+admission queue, typed load-shedding, per-request deadlines, client
+retry with jittered backoff, degradation tiers — keeps the system
+correct and responsive under overload and injected faults.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.clients import run_clients
+from repro.serve.run import run_serve
+from repro.serve.server import ServeRequest, SnapshotServer, replay_oracle
+from repro.serve.version import Version, VersionChain, VersionLease
+
+__all__ = [
+    "AdmissionQueue",
+    "ServeRequest",
+    "SnapshotServer",
+    "Version",
+    "VersionChain",
+    "VersionLease",
+    "replay_oracle",
+    "run_clients",
+    "run_serve",
+]

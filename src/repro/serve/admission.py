@@ -1,0 +1,140 @@
+"""Bounded admission queue with load-shedding and degradation tiers.
+
+Overload safety comes from refusing work *early*: a request is either
+admitted into a bounded FIFO queue or fast-rejected with a typed
+:class:`~repro.errors.Overloaded` error carrying the reason, the queue
+depth and the current degradation tier — the client backs off and
+retries, and nothing half-executed ever has to be unwound.
+
+The degradation tier is a small hysteresis state machine over queue
+depth:
+
+====================  ==================================================
+``nominal``           everything admitted until the queue is full
+``shed_updates``      depth >= 1/2 capacity: updates are shed so reads
+                      (the cheap, latency-sensitive class) keep flowing
+``shed_traced``       depth >= 3/4 capacity: traced requests — the
+                      expensive observability class — are shed too
+====================  ==================================================
+
+Tiers drop only once depth falls below *half* their entry watermark, so
+a queue oscillating around a threshold does not flap between tiers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.errors import Overloaded
+
+#: Tier order, least to most degraded.
+TIERS = ("nominal", "shed_updates", "shed_traced")
+
+
+class AdmissionQueue:
+    """Bounded FIFO with typed fast-reject and degradation tiers."""
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 4:
+            raise ValueError("max_depth must be >= 4, got %d" % max_depth)
+        self.max_depth = max_depth
+        self._enter_updates = max(2, max_depth // 2)
+        self._enter_traced = max(3, (3 * max_depth) // 4)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items: Deque[Any] = deque()
+        self._closed = False
+        self.tier = "nominal"
+        self.admitted = 0
+        self.shed: Dict[str, int] = {}
+        self.tier_changes = 0
+        self.max_depth_seen = 0
+
+    def _reject(self, reason: str, depth: int) -> None:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        raise Overloaded(reason, depth=depth, tier=self.tier)
+
+    def _update_tier(self, depth: int) -> None:
+        tier = self.tier
+        if tier == "nominal":
+            if depth >= self._enter_traced:
+                tier = "shed_traced"
+            elif depth >= self._enter_updates:
+                tier = "shed_updates"
+        elif tier == "shed_updates":
+            if depth >= self._enter_traced:
+                tier = "shed_traced"
+            elif depth < self._enter_updates // 2:
+                tier = "nominal"
+        else:  # shed_traced
+            if depth < self._enter_traced // 2:
+                tier = (
+                    "shed_updates" if depth >= self._enter_updates // 2 else "nominal"
+                )
+        if tier != self.tier:
+            self.tier = tier
+            self.tier_changes += 1
+
+    def admit(self, request: Any) -> None:
+        """Enqueue ``request`` or raise :class:`Overloaded` (typed).
+
+        Checks run cheapest-first: an already-expired deadline is
+        rejected before the request consumes queue capacity, a full
+        queue rejects everything, and the degradation tier sheds its
+        request classes (updates, then traced requests) below capacity.
+        """
+        with self._lock:
+            depth = len(self._items)
+            if self._closed:
+                self._reject("queue_full", depth)
+            deadline = getattr(request, "deadline", None)
+            if deadline is not None and deadline.expired():
+                self._reject("deadline", depth)
+            self._update_tier(depth)
+            if depth >= self.max_depth:
+                self._reject("queue_full", depth)
+            if self.tier != "nominal" and getattr(request, "kind", None) == "update":
+                self._reject("shed_updates", depth)
+            if self.tier == "shed_traced" and getattr(request, "traced", False):
+                self._reject("shed_traced", depth)
+            self._items.append(request)
+            self.admitted += 1
+            if depth + 1 > self.max_depth_seen:
+                self.max_depth_seen = depth + 1
+            self._not_empty.notify()
+
+    def next(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the oldest admitted request (None on timeout/close)."""
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            request = self._items.popleft()
+            self._update_tier(len(self._items))
+            return request
+
+    def close(self) -> None:
+        """Refuse new admits and wake every blocked consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "shed": dict(self.shed),
+                "shed_total": sum(self.shed.values()),
+                "tier": self.tier,
+                "tier_changes": self.tier_changes,
+                "max_depth_seen": self.max_depth_seen,
+                "max_depth": self.max_depth,
+            }

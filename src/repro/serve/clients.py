@@ -1,0 +1,122 @@
+"""Simulated closed-loop clients issuing the paper's retrieve/update mix.
+
+Each client is one thread with its own deterministic RNG stream
+(:func:`~repro.util.rng.derive_rng` keyed by client id), drawing
+operations exactly like the sweep's sequence generator: an update with
+probability ``pr_update``, a retrieve of ``NumTop`` consecutive parents
+otherwise.  Closed-loop means a client waits for each request's outcome
+before issuing the next — the paper's single-user driver, replicated N
+times against the shared server.
+
+Overload handling is entirely client-side policy: an
+:class:`~repro.errors.Overloaded` fast-reject triggers jittered
+exponential backoff (base and budget from the sweep's
+:class:`~repro.experiments.pool.RetryPolicy`), and a client gives up on
+an operation only after ``max_retries`` rejections.  Jitter is drawn
+from the client's own RNG, so a storm's retry schedule is reproducible
+run to run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import Overloaded
+from repro.experiments.pool import RetryPolicy
+from repro.obs.registry import MetricsRegistry
+from repro.serve.server import ServeRequest, SnapshotServer
+from repro.util.deadline import Deadline
+from repro.util.rng import derive_rng
+from repro.workload.params import WorkloadParams
+from repro.workload.queries import random_retrieve, random_update
+
+#: Fraction of retrieves flagged as traced (the expensive observability
+#: class the worst degradation tier sheds).
+TRACED_FRACTION = 0.1
+
+
+def run_clients(
+    server: SnapshotServer,
+    params: WorkloadParams,
+    child_counts: Sequence[int],
+    clients: int = 8,
+    duration: float = 5.0,
+    pr_update: float = 0.2,
+    deadline_seconds: float = 2.0,
+    seed: int = 42,
+    policy: Optional[RetryPolicy] = None,
+    stream_base: int = 0,
+) -> MetricsRegistry:
+    """Run ``clients`` closed-loop client threads for ``duration`` seconds.
+
+    Returns the merged per-client metrics registry: ``serve.issued``,
+    ``serve.done{kind,status}``, ``serve.latency_ms{kind}``,
+    ``serve.shed{reason}``, ``serve.retries`` and ``serve.gave_up``.
+    ``stream_base`` offsets the RNG streams so distinct phases (nominal,
+    storm, recovery) of one run draw independent operation sequences.
+    """
+    if policy is None:
+        policy = RetryPolicy()
+    registries = [MetricsRegistry() for _ in range(clients)]
+    seqs = itertools.count()  # GIL-atomic unique request ids
+
+    def client(client_id: int) -> None:
+        registry = registries[client_id]
+        rng = derive_rng(seed, stream=1000 + stream_base + client_id)
+        phase_end = Deadline.after(duration)
+        while not phase_end.expired():
+            if rng.random() < pr_update:
+                kind = "update"
+                op: Any = random_update(params, child_counts, rng)
+            else:
+                kind = "retrieve"
+                op = random_retrieve(params, rng)
+            traced = kind == "retrieve" and rng.random() < TRACED_FRACTION
+            registry.inc("serve.issued", kind=kind)
+            attempts = 0
+            t0 = time.monotonic_ns()
+            while True:
+                request = ServeRequest(
+                    next(seqs), kind, op, traced=traced,
+                    deadline=Deadline.after(deadline_seconds),
+                )
+                try:
+                    server.submit(request)
+                except Overloaded as exc:
+                    registry.inc("serve.shed", reason=exc.reason)
+                    attempts += 1
+                    if attempts > policy.max_retries or phase_end.expired():
+                        registry.inc("serve.gave_up", kind=kind)
+                        break
+                    registry.inc("serve.retries")
+                    backoff = (
+                        policy.backoff_seconds
+                        * (2 ** (attempts - 1))
+                        * (0.5 + rng.random())
+                    )
+                    time.sleep(min(backoff, max(phase_end.remaining(), 0.0)))
+                    continue
+                if not request.done.wait(timeout=deadline_seconds + 30.0):
+                    registry.inc("serve.done", kind=kind, status="lost")
+                    break
+                registry.observe(
+                    "serve.latency_ms", (time.monotonic_ns() - t0) / 1e6, kind=kind
+                )
+                registry.inc("serve.done", kind=kind, status=request.status)
+                break
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name="serve-client-%d" % i)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged

@@ -56,6 +56,7 @@ import mmap
 import os
 import pickle
 import struct
+import threading
 from typing import Any, Dict, List, Optional
 
 from repro.errors import CacheCorrupt
@@ -384,26 +385,65 @@ class ArenaRegistry:
     state stays valid even if the file is atomically replaced behind it
     (the old mapping pins the old inode).  A failed load caches nothing
     — after quarantine + rebuild the next load reads the fresh file.
+
+    Thread-safe: the serving layer's reader threads attach concurrently,
+    so :meth:`load` holds the registry lock across the check *and* the
+    map — two threads racing on the same path get one ``ArenaState``
+    (one mmap), never a duplicate mapping.  Loads are rare and bounded
+    (one per distinct database shape), so serializing them costs
+    nothing on the hot path.  :meth:`pin` / :meth:`unpin` refcount a
+    mapping so concurrent users can keep it alive across a
+    :meth:`discard` — the unmap is deferred until the last pin drops.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._states: Dict[str, ArenaState] = {}
+        self._pins: Dict[str, int] = {}
+        self._retired: Dict[str, ArenaState] = {}
 
     def load(self, path: str) -> ArenaState:
-        state = self._states.get(path)
-        if state is None:
-            with _spans.span("arena.load"):
-                state = _load_state(path)
-            self._states[path] = state
+        with self._lock:
+            state = self._states.get(path)
+            if state is None:
+                with _spans.span("arena.load"):
+                    state = _load_state(path)
+                self._states[path] = state
+            return state
+
+    def pin(self, path: str) -> ArenaState:
+        """Load and refcount: the mapping survives ``discard`` until
+        the matching :meth:`unpin`."""
+        state = self.load(path)
+        with self._lock:
+            self._pins[path] = self._pins.get(path, 0) + 1
         return state
 
+    def unpin(self, path: str) -> None:
+        with self._lock:
+            count = self._pins.get(path, 0) - 1
+            if count > 0:
+                self._pins[path] = count
+                return
+            self._pins.pop(path, None)
+            retired = self._retired.pop(path, None)
+        if retired is not None:
+            retired.close()
+
     def discard(self, path: str) -> None:
-        state = self._states.pop(path, None)
+        with self._lock:
+            state = self._states.pop(path, None)
+            if state is not None and self._pins.get(path, 0) > 0:
+                # Still pinned: defer the unmap to the last unpin.
+                self._retired[path] = state
+                state = None
         if state is not None:
             state.close()
 
     def clear(self) -> None:
-        for path in list(self._states):
+        with self._lock:
+            paths = list(self._states)
+        for path in paths:
             self.discard(path)
 
 

@@ -44,6 +44,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -187,7 +188,10 @@ class SnapshotStore:
         self.format = format
         self.max_memory_entries = max_memory_entries
         #: Memory tier holds Snapshot or ArenaSnapshot handles alike.
+        #: Guarded by ``_memory_lock`` — the serving layer's threads hit
+        #: the store concurrently and OrderedDict mutation is not atomic.
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._memory_lock = threading.Lock()
         self.stats: Dict[str, int] = {
             "memory_hits": 0,
             "disk_hits": 0,
@@ -217,11 +221,12 @@ class SnapshotStore:
         backed by the process-wide registry (one mmap + stub build per
         process); legacy files return a :class:`Snapshot`.
         """
-        snapshot = self._memory.get(key)
-        if snapshot is not None:
-            self._memory.move_to_end(key)
-            self.stats["memory_hits"] += 1
-            return snapshot
+        with self._memory_lock:
+            snapshot = self._memory.get(key)
+            if snapshot is not None:
+                self._memory.move_to_end(key)
+                self.stats["memory_hits"] += 1
+                return snapshot
         snapshot = self._load_arena(key)
         if snapshot is None:
             snapshot = self._load_pickle(key)
@@ -321,10 +326,11 @@ class SnapshotStore:
                 pass
 
     def _remember(self, key: str, snapshot: Snapshot) -> None:
-        self._memory[key] = snapshot
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+        with self._memory_lock:
+            self._memory[key] = snapshot
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------
     # maintenance / introspection (the ``repro dbcache`` subcommand)
@@ -379,5 +385,6 @@ class SnapshotStore:
                 removed += 1
             except OSError:
                 pass
-        self._memory.clear()
+        with self._memory_lock:
+            self._memory.clear()
         return removed

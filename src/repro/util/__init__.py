@@ -3,6 +3,7 @@
 from repro.util.rng import derive_rng, spawn_seeds
 from repro.util.stats import RunningStats, mean, percentile
 from repro.util.fmt import format_table, format_float
+from repro.util.deadline import Deadline, check_active, enforced
 
 __all__ = [
     "derive_rng",
@@ -12,4 +13,7 @@ __all__ = [
     "percentile",
     "format_table",
     "format_float",
+    "Deadline",
+    "check_active",
+    "enforced",
 ]

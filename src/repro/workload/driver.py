@@ -26,6 +26,7 @@ from repro.core.measure import CostMeter
 from repro.core.queries import RetrieveQuery, UpdateQuery
 from repro.core.strategies.base import Strategy, make_strategy
 from repro.obs import spans as _spans
+from repro.util import deadline as _deadline
 from repro.util.stats import RunningStats
 from repro.workload.generator import build_database
 from repro.workload.params import WorkloadParams
@@ -204,7 +205,14 @@ def _run_measured(
     # operators' stage:* spans nest under it and the aggregate tree has
     # the per-op p50/p95/p99 latency as the stages' parent.
     prof = _spans._PROFILER
+    # Cooperative cancellation point: one thread-local read per op when
+    # no deadline is enforced, a DeadlineExceeded once the innermost
+    # enforced() deadline of this thread has passed.  This is what lets
+    # --point-timeout work off the main thread and lets serve requests
+    # abort mid-sequence.
+    check_deadline = _deadline.check_active
     for index, op in enumerate(sequence):
+        check_deadline("measured sequence")
         is_retrieve = isinstance(op, RetrieveQuery)
         if is_retrieve:
             if cold_retrieves:

@@ -1,0 +1,109 @@
+"""Admission queue: typed fast-reject, degradation tiers, hysteresis."""
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.serve.admission import AdmissionQueue
+from repro.serve.server import ServeRequest
+from repro.util.deadline import Deadline
+
+
+def _request(kind="retrieve", traced=False, deadline=None, seq=0):
+    return ServeRequest(seq, kind, op=None, traced=traced, deadline=deadline)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(max_depth=8)
+        for seq in range(3):
+            queue.admit(_request(seq=seq))
+        assert [queue.next(0.01).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_full_queue_rejects_with_reason_and_depth(self):
+        queue = AdmissionQueue(max_depth=4)
+        for seq in range(4):
+            queue.admit(_request(seq=seq))
+        with pytest.raises(Overloaded) as info:
+            queue.admit(_request(seq=99))
+        assert info.value.reason == "queue_full"
+        assert info.value.depth == 4
+        assert queue.stats()["shed"] == {"queue_full": 1}
+
+    def test_expired_deadline_is_rejected_before_consuming_capacity(self):
+        queue = AdmissionQueue(max_depth=4)
+        expired = Deadline.after(-1.0)
+        with pytest.raises(Overloaded) as info:
+            queue.admit(_request(deadline=expired))
+        assert info.value.reason == "deadline"
+        assert queue.depth() == 0
+
+    def test_next_times_out_and_close_wakes_consumers(self):
+        queue = AdmissionQueue(max_depth=4)
+        assert queue.next(timeout=0.01) is None
+        queue.admit(_request(seq=1))
+        queue.close()
+        # Admitted work still drains after close; new admits are refused.
+        assert queue.next(timeout=0.01).seq == 1
+        assert queue.next(timeout=0.01) is None
+        with pytest.raises(Overloaded):
+            queue.admit(_request(seq=2))
+
+
+class TestDegradationTiers:
+    def _fill(self, queue, count):
+        for seq in range(count):
+            queue.admit(_request(seq=seq))
+
+    def test_updates_shed_before_reads(self):
+        queue = AdmissionQueue(max_depth=16)  # tiers at 8 and 12
+        self._fill(queue, 8)
+        with pytest.raises(Overloaded) as info:
+            queue.admit(_request(kind="update"))
+        assert info.value.reason == "shed_updates"
+        assert info.value.tier == "shed_updates"
+        # Reads still flow in the shed_updates tier.
+        queue.admit(_request(kind="retrieve"))
+
+    def test_traced_shed_only_in_worst_tier(self):
+        queue = AdmissionQueue(max_depth=16)
+        self._fill(queue, 8)
+        queue.admit(_request(traced=True))  # shed_updates tier: traced ok
+        self._fill_to_depth(queue, 12)
+        with pytest.raises(Overloaded) as info:
+            queue.admit(_request(traced=True))
+        assert info.value.reason == "shed_traced"
+        # Plain reads still flow even in the worst tier.
+        queue.admit(_request(kind="retrieve"))
+
+    def _fill_to_depth(self, queue, depth):
+        seq = 1000
+        while queue.depth() < depth:
+            queue.admit(_request(seq=seq))
+            seq += 1
+
+    def test_hysteresis_exits_below_half_the_entry_watermark(self):
+        queue = AdmissionQueue(max_depth=16)  # enter shed_updates at 8
+        self._fill(queue, 8)
+        queue.admit(_request())  # pushes tier to shed_updates
+        assert queue.stats()["tier"] == "shed_updates"
+        # Drain to just above the exit watermark (8 // 2 = 4): still shed.
+        while queue.depth() > 4:
+            queue.next(0.01)
+        with pytest.raises(Overloaded):
+            queue.admit(_request(kind="update"))
+        # Drain below it: tier drops back to nominal, updates flow again.
+        while queue.depth() > 3:
+            queue.next(0.01)
+        queue.next(0.01)
+        queue.admit(_request(kind="update"))
+        stats = queue.stats()
+        assert stats["tier"] == "nominal"
+        assert stats["tier_changes"] >= 2
+
+    def test_stats_track_admitted_and_max_depth(self):
+        queue = AdmissionQueue(max_depth=8)
+        self._fill(queue, 5)
+        stats = queue.stats()
+        assert stats["admitted"] == 5
+        assert stats["max_depth_seen"] == 5
+        assert stats["max_depth"] == 8

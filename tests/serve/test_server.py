@@ -1,0 +1,183 @@
+"""SnapshotServer end-to-end: isolation, ack-on-publish, fault recovery."""
+
+import pytest
+
+from repro.fault import plan as _fault
+from repro.fault.plan import FaultPlan, FaultSpec
+from repro.serve.server import (
+    ServeRequest,
+    SnapshotServer,
+    replay_oracle,
+    result_digest,
+)
+from repro.core.strategies.base import make_strategy
+from repro.storage.snapshot import Snapshot
+from repro.util.deadline import Deadline
+from repro.util.rng import derive_rng
+from repro.workload.generator import build_database
+from repro.workload.queries import random_retrieve, random_update
+
+
+@pytest.fixture
+def base_snapshot(tiny_params):
+    return Snapshot.freeze(build_database(tiny_params))
+
+
+@pytest.fixture
+def server(base_snapshot):
+    srv = SnapshotServer(
+        base_snapshot, readers=2, queue_depth=32, publish_interval=0.01
+    )
+    srv.start()
+    yield srv
+    srv.stop(join_timeout=10.0)
+
+
+@pytest.fixture(autouse=True)
+def no_fault_plan():
+    yield
+    _fault.clear()
+
+
+def _ops(tiny_params, base_snapshot, seed=7):
+    rng = derive_rng(seed)
+    counts = [rel.num_records for rel in base_snapshot._db.child_rels]
+    retrieves = [random_retrieve(tiny_params, rng) for _ in range(8)]
+    updates = [random_update(tiny_params, counts, rng) for _ in range(4)]
+    return retrieves, updates
+
+
+def _wait_all(requests, timeout=10.0):
+    for request in requests:
+        assert request.done.wait(timeout), "request %d never finished" % request.seq
+    return requests
+
+
+class TestServing:
+    def test_retrieves_are_served_with_epoch_and_digest(
+        self, server, base_snapshot, tiny_params
+    ):
+        retrieves, _ = _ops(tiny_params, base_snapshot)
+        requests = [
+            ServeRequest(seq, "retrieve", op) for seq, op in enumerate(retrieves)
+        ]
+        for request in requests:
+            server.submit(request)
+        _wait_all(requests)
+        strategy = make_strategy("BFS")
+        oracle_db = base_snapshot.attach()
+        for request in requests:
+            assert request.status == "ok"
+            assert request.epoch == 0  # no updates: still the base version
+            assert request.digest == result_digest(
+                strategy.retrieve(oracle_db, request.op)
+            )
+
+    def test_updates_ack_only_at_a_published_epoch(
+        self, server, base_snapshot, tiny_params
+    ):
+        _, updates = _ops(tiny_params, base_snapshot)
+        requests = [
+            ServeRequest(seq, "update", op) for seq, op in enumerate(updates)
+        ]
+        for request in requests:
+            server.submit(request)
+        _wait_all(requests)
+        published = {epoch for epoch, _ in server.epoch_log}
+        for request in requests:
+            assert request.status == "ok"
+            assert request.epoch in published
+
+    def test_oracle_replay_is_clean_on_a_mixed_run(
+        self, server, base_snapshot, tiny_params
+    ):
+        retrieves, updates = _ops(tiny_params, base_snapshot)
+        requests = []
+        seq = 0
+        for retrieve, update in zip(retrieves, updates):
+            requests.append(ServeRequest(seq, "retrieve", retrieve))
+            requests.append(ServeRequest(seq + 1, "update", update))
+            seq += 2
+        for request in requests:
+            server.submit(request)
+        _wait_all(requests)
+        mismatches = replay_oracle(
+            base_snapshot,
+            server.strategy_name,
+            server.epoch_log,
+            server.acked_retrieves,
+            server.acked_updates,
+        )
+        assert mismatches == []
+
+    def test_expired_deadline_is_cancelled_not_served(
+        self, server, base_snapshot, tiny_params
+    ):
+        retrieves, _ = _ops(tiny_params, base_snapshot)
+        request = ServeRequest(
+            0, "retrieve", retrieves[0], deadline=Deadline.after(-1.0)
+        )
+        # An already-expired deadline is shed at admission...
+        from repro.errors import Overloaded
+
+        with pytest.raises(Overloaded):
+            server.submit(request)
+        # ...and one racing its expiry is either shed at admission or
+        # finished as "deadline"/"ok" — but a cancelled request is never
+        # recorded as acknowledged.
+        racing = ServeRequest(
+            1, "retrieve", retrieves[1], deadline=Deadline.after(1e-4)
+        )
+        try:
+            server.submit(racing)
+        except Overloaded:
+            return
+        assert racing.done.wait(5.0)
+        if racing.status == "deadline":
+            assert all(op is not racing.op for _, op, _ in server.acked_retrieves)
+
+    def test_stop_reports_no_stuck_threads(self, base_snapshot):
+        srv = SnapshotServer(base_snapshot, readers=2, publish_interval=0.01)
+        srv.start()
+        assert srv.stop(join_timeout=10.0) == []
+
+
+class TestFaults:
+    def test_publish_crash_is_retried_without_losing_acks(
+        self, base_snapshot, tiny_params
+    ):
+        _fault.install(
+            FaultPlan([FaultSpec("serve.publish_crash", count=2)], seed=0)
+        )
+        srv = SnapshotServer(
+            base_snapshot, readers=2, queue_depth=32, publish_interval=0.01
+        )
+        srv.start()
+        try:
+            retrieves, updates = _ops(tiny_params, base_snapshot)
+            requests = [
+                ServeRequest(seq, "update", op) for seq, op in enumerate(updates)
+            ]
+            requests += [
+                ServeRequest(100 + seq, "retrieve", op)
+                for seq, op in enumerate(retrieves)
+            ]
+            for request in requests:
+                srv.submit(request)
+            _wait_all(requests)
+        finally:
+            stuck = srv.stop(join_timeout=10.0)
+        assert stuck == []
+        crashes = _fault.active().injections.get("serve.publish_crash", 0)
+        assert crashes == 2
+        assert all(request.status == "ok" for request in requests)
+        assert (
+            replay_oracle(
+                base_snapshot,
+                srv.strategy_name,
+                srv.epoch_log,
+                srv.acked_retrieves,
+                srv.acked_updates,
+            )
+            == []
+        )

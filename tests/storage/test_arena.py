@@ -175,3 +175,54 @@ class TestZeroPickle:
         store = SnapshotStore(str(tmp_path), format="pickle")
         store.put("k", Snapshot.freeze(build_database(tiny_params)))
         assert PICKLE_STATS.payload_bytes > before
+
+
+class TestRegistryConcurrency:
+    """Regression: parallel attaches must never remap the same arena."""
+
+    def test_parallel_loads_parse_the_file_exactly_once(
+        self, arena_path, monkeypatch
+    ):
+        import threading
+
+        parses = []
+        real_load = arena._load_state
+
+        def counting_load(path):
+            parses.append(path)
+            return real_load(path)
+
+        monkeypatch.setattr(arena, "_load_state", counting_load)
+        registry = arena.ArenaRegistry()
+        barrier = threading.Barrier(8)
+        states = [None] * 8
+
+        def attach(index):
+            barrier.wait()
+            states[index] = registry.load(arena_path)
+
+        threads = [
+            threading.Thread(target=attach, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(parses) == 1
+        assert all(state is states[0] for state in states)
+        registry.clear()
+
+    def test_pinned_mapping_survives_discard_until_last_unpin(self, arena_path):
+        registry = arena.ArenaRegistry()
+        state = registry.pin(arena_path)
+        registry.pin(arena_path)
+        registry.discard(arena_path)
+        # Two pins outstanding: the mapping must still be readable.
+        assert state.attach().fetch_parent(1) is not None
+        registry.unpin(arena_path)
+        assert state.attach().fetch_parent(1) is not None
+        registry.unpin(arena_path)  # last unpin closes the mapping
+        # A fresh load after discard reparses the (unchanged) file.
+        fresh = registry.load(arena_path)
+        assert fresh is not state
+        registry.clear()
