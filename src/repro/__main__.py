@@ -253,6 +253,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    # Lazy import: hypothesis is a test-only dependency; every other
+    # subcommand must keep working without it.
+    try:
+        import hypothesis  # noqa: F401
+    except ImportError:
+        sys.stderr.write(
+            "repro fuzz needs hypothesis (pip install 'repro-complex-objects[test]')\n"
+        )
+        return 2
+    from repro.oracle.campaign import run_campaign
+    from repro.oracle.machines import MACHINES
+
+    if args.list:
+        for name in sorted(MACHINES):
+            doc = (MACHINES[name].__doc__ or "").strip().splitlines()[0]
+            print("%-10s %s" % (name, doc))
+        return 0
+    try:
+        return run_campaign(
+            machines=args.machine or None,
+            profile=args.profile,
+            seed=args.seed,
+            corpus=args.corpus,
+            examples=args.examples,
+            steps=args.steps,
+            budget=args.budget,
+        )
+    except KeyError as exc:
+        sys.stderr.write("%s\n" % exc.args[0])
+        return 2
+
+
 def cmd_dbcache(args: argparse.Namespace) -> int:
     from repro.experiments.pool import DB_CACHE_DIRNAME
     from repro.storage.snapshot import SnapshotStore
@@ -633,6 +666,33 @@ def build_parser() -> argparse.ArgumentParser:
         "next to the estimates (divergence > 10%% is flagged)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run generative stateful fuzz campaigns against the storage "
+        "engines (hypothesis state machines + differential oracle)",
+    )
+    fuzz.add_argument("--machine", action="append", default=[],
+                      help="machine to fuzz (repeatable; default: all — "
+                      "see --list)")
+    fuzz.add_argument("--profile", default="deep",
+                      choices=("quick", "standard", "state_machine", "deep"),
+                      help="settings tier (default deep)")
+    fuzz.add_argument("--seed", type=int, default=None,
+                      help="pin hypothesis randomness for deterministic "
+                      "campaign replay")
+    fuzz.add_argument("--examples", type=int, default=None,
+                      help="override the profile's max_examples")
+    fuzz.add_argument("--steps", type=int, default=None,
+                      help="override the profile's stateful_step_count")
+    fuzz.add_argument("--budget", type=float, default=None,
+                      help="coarse time box in seconds: start no new "
+                      "machine after it is exhausted")
+    fuzz.add_argument("--corpus", default=None,
+                      help="failure-corpus directory (default: the "
+                      "committed tests/stateful/corpus)")
+    fuzz.add_argument("--list", action="store_true",
+                      help="list available machines and exit")
+
     trace = sub.add_parser(
         "trace", help="run one strategy traced; print the I/O breakdown"
     )
@@ -668,6 +728,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "perf": cmd_perf,
         "serve": cmd_serve,
+        "fuzz": cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,127 @@
+"""Deep fuzz campaigns outside pytest (the ``repro fuzz`` CLI).
+
+A campaign runs one or more state machines from
+:mod:`repro.oracle.machines` under a settings profile, with two pieces
+pytest does not give you for free:
+
+* **Seed replay** — ``--seed N`` pins Hypothesis's randomness for every
+  machine (via the ``@seed`` attribute the stateful runner honors), so
+  ``repro fuzz --seed N`` replays a campaign move for move;
+* **A persistent failure corpus** — every run plugs the shared example
+  database under ``tests/stateful/corpus/`` (committable) into its
+  settings, so a counterexample shrunk by an overnight campaign
+  replays automatically in the next plain ``pytest`` run, and vice
+  versa.
+
+Exit status is the number of failing machines (0 = clean campaign).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Callable, List, Optional, Sequence
+
+
+def default_corpus_dir() -> str:
+    """The committed failure corpus when running from a checkout.
+
+    Falls back to ``results/fuzz-corpus`` for installed copies that have
+    no ``tests/`` tree next to the package.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    committed = os.path.join(repo, "tests", "stateful", "corpus")
+    if os.path.isdir(os.path.dirname(committed)):
+        return committed
+    return os.path.join("results", "fuzz-corpus")
+
+
+def run_campaign(
+    machines: Optional[Sequence[str]] = None,
+    profile: str = "deep",
+    seed: Optional[int] = None,
+    corpus: Optional[str] = None,
+    examples: Optional[int] = None,
+    steps: Optional[int] = None,
+    budget: Optional[float] = None,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Fuzz each named machine; return how many of them failed.
+
+    ``budget`` (seconds) is a coarse time box: no new machine starts
+    after it is exhausted (a machine already running finishes its
+    examples).  Skipped machines are reported, never silently dropped.
+    """
+    from hypothesis.database import DirectoryBasedExampleDatabase
+    from hypothesis.stateful import run_state_machine_as_test
+
+    from repro.fault import plan as _fault
+    from repro.oracle.machines import MACHINES
+    from repro.oracle.profiles import profile_settings
+
+    names = list(machines) if machines else sorted(MACHINES)
+    unknown = [name for name in names if name not in MACHINES]
+    if unknown:
+        raise KeyError(
+            "unknown machine(s) %s (choose from %s)"
+            % (", ".join(unknown), ", ".join(sorted(MACHINES)))
+        )
+    corpus_dir = corpus or default_corpus_dir()
+    os.makedirs(corpus_dir, exist_ok=True)
+    run_settings = profile_settings(
+        profile,
+        database=DirectoryBasedExampleDatabase(corpus_dir),
+        max_examples=examples,
+        stateful_step_count=steps,
+    )
+    emit(
+        "fuzz campaign: %d machine(s), profile=%s, examples=%d, steps=%d"
+        % (
+            len(names),
+            profile,
+            run_settings.max_examples,
+            run_settings.stateful_step_count,
+        )
+    )
+    emit("corpus: %s" % corpus_dir)
+    if seed is not None:
+        emit("seed: %d (deterministic replay)" % seed)
+    started = time.monotonic()
+    failures: List[str] = []
+    for index, name in enumerate(names):
+        if budget is not None and time.monotonic() - started > budget:
+            emit(
+                "time budget (%.0fs) exhausted — skipping: %s"
+                % (budget, ", ".join(names[index:]))
+            )
+            break
+        factory = MACHINES[name]
+        if seed is not None:
+            # What @seed(N) would set; the stateful runner copies it off
+            # the factory, and a subclass keeps the registry pristine.
+            factory = type(factory.__name__, (factory,), {})
+            factory._hypothesis_internal_use_seed = seed
+        machine_started = time.monotonic()
+        try:
+            run_state_machine_as_test(factory, settings=run_settings)
+        except Exception:
+            failures.append(name)
+            emit("FAIL %-8s (%.1fs)" % (name, time.monotonic() - machine_started))
+            emit(traceback.format_exc())
+        else:
+            emit("ok   %-8s (%.1fs)" % (name, time.monotonic() - machine_started))
+        finally:
+            _fault.clear()
+    if failures:
+        emit("failing machines: %s" % ", ".join(failures))
+        emit(
+            "the shrunk counterexample(s) are saved in the corpus; replay with\n"
+            "  repro fuzz --machine %s%s\n"
+            "or just rerun pytest (tests/stateful/ shares the corpus)."
+            % (" --machine ".join(failures), "" if seed is None else " --seed %d" % seed)
+        )
+    else:
+        emit("campaign clean.")
+    return len(failures)

@@ -1,0 +1,721 @@
+"""Hypothesis state machines for every storage engine.
+
+Each machine drives random operation sequences against one engine (or
+the snapshot/clone layer), applies the same sequence to a reference
+model from :mod:`repro.oracle.reference`, compares every read, and runs
+the engine's ``check_invariants()`` hook after every step via
+``@invariant``.  Geometry is deliberately tiny — 128-byte pages, a
+handful of buffer frames, four hash buckets — so splits, overflow
+chains and evictions happen within a few dozen rules.
+
+The key domain is small (0..199) on purpose: collisions are what
+exercise duplicate handling, deletes of present keys, and hash-chain
+reuse.  Records are ``(key, value)`` int pairs throughout.
+
+:class:`CrashConsistencyMachine` layers fault-interleaved rules on top:
+a rule may arm a seeded :class:`~repro.fault.plan.FaultPlan` over the
+disk sites, after which any operation may die mid-flight with
+:class:`~repro.errors.FaultInjected` — potentially leaving a torn
+engine (a B-tree split is not atomic).  The machine then models what
+the sweep layer does in production (PR 4's history-independent retry):
+declare the working clone crashed, re-attach a fresh clone from the
+last durable snapshot, and verify the recovered store equals the
+durable reference model exactly.  Commits freeze the working clone into
+a new durable snapshot through the checksummed
+:class:`~repro.storage.snapshot.SnapshotStore`, and a reload rule
+corrupts the stored bytes (``snapshot.load``) to drive the
+quarantine-and-rebuild path.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from typing import Any, List, Optional, Tuple
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import (
+    DuplicateKeyError,
+    FaultInjected,
+    FrozenPageError,
+    KeyNotFoundError,
+)
+from repro.fault import plan as _fault
+from repro.fault.plan import FaultPlan, FaultSpec
+from repro.oracle.invariants import check_all
+from repro.oracle.reference import HeapModel, KeyedModel, SqliteMirror
+from repro.storage.catalog import Catalog
+from repro.storage.page import PageId
+from repro.storage.record import IntField, Schema
+from repro.storage.snapshot import Snapshot, SnapshotStore
+
+#: Small domains: collisions and re-deletes must be common.
+KEYS = st.integers(min_value=0, max_value=199)
+VALUES = st.integers(min_value=0, max_value=2**20)
+
+#: Tiny geometry: ~8 int records per 128-byte page, 8 frames.
+PAGE_SIZE = 128
+BUFFER_PAGES = 8
+HASH_BUCKETS = 4
+
+
+def kv_schema() -> Schema:
+    return Schema([IntField("key"), IntField("value")])
+
+
+def _sorted_records(keys) -> List[Tuple[int, int]]:
+    return [(key, key * 3) for key in sorted(keys)]
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """B-tree vs dict-of-lists vs sqlite, with per-step tree invariants."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.catalog = Catalog(BUFFER_PAGES, PAGE_SIZE)
+        self.tree = self.catalog.create_btree("t", kv_schema(), "key")
+        self.model = KeyedModel()
+        self.mirror = SqliteMirror()
+
+    def teardown(self) -> None:
+        self.mirror.close()
+
+    @initialize(keys=st.sets(KEYS, max_size=30))
+    def bulk_seed(self, keys) -> None:
+        records = _sorted_records(keys)
+        self.tree.bulk_load(records)
+        for key, value in records:
+            self.model.insert(key, (key, value))
+            self.mirror.insert(key, (key, value))
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key: int, value: int) -> None:
+        record = (key, value)
+        duplicate = self.model.get(key) is not None
+        try:
+            self.tree.insert(record)
+        except DuplicateKeyError:
+            assert duplicate, "tree rejected fresh key %r as duplicate" % key
+        else:
+            assert not duplicate, "tree accepted duplicate key %r" % key
+            self.model.insert(key, record)
+            self.mirror.insert(key, record)
+
+    @rule(key=KEYS)
+    def delete(self, key: int) -> None:
+        removed = self.tree.delete_if_present(key)
+        expected = self.model.delete(key)
+        self.mirror.delete(key)
+        assert removed == (expected is not None), (
+            "delete(%r) returned %r, model had %r" % (key, removed, expected)
+        )
+
+    @rule(key=KEYS, value=VALUES)
+    def update_field(self, key: int, value: int) -> None:
+        if self.model.get(key) is None:
+            try:
+                self.tree.update_field(key, "value", value)
+            except KeyNotFoundError:
+                return
+            raise AssertionError("update_field(%r) succeeded on absent key" % key)
+        record = self.tree.update_field(key, "value", value)
+        assert record == (key, value)
+        self.model.replace(key, record)
+        self.mirror.replace(key, record)
+
+    @rule(key=KEYS)
+    def lookup(self, key: int) -> None:
+        got = self.tree.lookup(key)
+        expected = self.model.get(key)
+        assert got == ([expected] if expected is not None else []), (
+            "lookup(%r) = %r, model has %r" % (key, got, expected)
+        )
+        assert self.mirror.get(key) == expected
+
+    @rule(lo=KEYS, hi=KEYS)
+    def range_scan(self, lo: int, hi: int) -> None:
+        if lo > hi:
+            lo, hi = hi, lo
+        got = list(self.tree.range_scan(lo, hi))
+        assert got == self.model.range(lo, hi), "range [%d, %d] diverged" % (lo, hi)
+        assert got == self.mirror.range(lo, hi)
+
+    @invariant()
+    def scan_agrees(self) -> None:
+        assert list(self.tree.scan()) == self.model.records()
+
+    @invariant()
+    def engine_well_formed(self) -> None:
+        check_all(self.catalog)
+
+
+class HashMachine(RuleBasedStateMachine):
+    """Hash file vs dict-of-lists vs sqlite, chains checked per step."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.catalog = Catalog(BUFFER_PAGES, PAGE_SIZE)
+        self.hash = self.catalog.create_hash("h", kv_schema(), "key", HASH_BUCKETS)
+        self.model = KeyedModel()
+        self.mirror = SqliteMirror()
+
+    def teardown(self) -> None:
+        self.mirror.close()
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key: int, value: int) -> None:
+        record = (key, value)
+        duplicate = self.model.get(key) is not None
+        try:
+            self.hash.insert(record)
+        except DuplicateKeyError:
+            assert duplicate, "hash rejected fresh key %r as duplicate" % key
+        else:
+            assert not duplicate, "hash accepted duplicate key %r" % key
+            self.model.insert(key, record)
+            self.mirror.insert(key, record)
+
+    @rule(key=KEYS, value=VALUES)
+    def upsert(self, key: int, value: int) -> None:
+        record = (key, value)
+        self.hash.upsert(record)
+        if not self.model.replace(key, record):
+            self.model.insert(key, record)
+        if not self.mirror.replace(key, record):
+            self.mirror.insert(key, record)
+
+    @rule(key=KEYS)
+    def delete(self, key: int) -> None:
+        removed = self.hash.delete_if_present(key)
+        expected = self.model.delete(key)
+        self.mirror.delete(key)
+        assert removed == (expected is not None)
+
+    @rule(key=KEYS)
+    def lookup(self, key: int) -> None:
+        got = self.hash.lookup(key)
+        expected = self.model.get(key)
+        assert got == expected, "lookup(%r) = %r, model has %r" % (key, got, expected)
+        assert self.mirror.get(key) == expected
+
+    @rule()
+    def truncate(self) -> None:
+        self.hash.truncate()
+        self.model.clear()
+        self.mirror.clear()
+        assert self.hash.num_pages == HASH_BUCKETS
+        assert self.hash.overflow_pages() == 0
+
+    @invariant()
+    def scan_agrees(self) -> None:
+        # Bucket order is not key order; compare as sorted multisets.
+        assert sorted(self.hash.scan()) == sorted(self.model.records())
+        assert len(self.hash) == len(self.model)
+
+    @invariant()
+    def engine_well_formed(self) -> None:
+        check_all(self.catalog)
+
+
+class IsamMachine(RuleBasedStateMachine):
+    """ISAM index vs dict-of-lists: build once, then overflow inserts."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.catalog = Catalog(BUFFER_PAGES, PAGE_SIZE)
+        self.index = self.catalog.create_isam_index("i")
+        self.model = KeyedModel()
+
+    @initialize(keys=st.sets(KEYS, min_size=1, max_size=40))
+    def build(self, keys) -> None:
+        entries = [(key, key * 7) for key in sorted(keys)]
+        self.index.build(entries)
+        for key, payload in entries:
+            self.model.insert(key, (key, payload))
+
+    @rule(key=KEYS, payload=VALUES)
+    def insert(self, key: int, payload: int) -> None:
+        if self.model.get(key) is not None:
+            try:
+                self.index.insert(key, payload)
+            except DuplicateKeyError:
+                return
+            raise AssertionError("isam accepted duplicate key %r" % key)
+        self.index.insert(key, payload)
+        self.model.insert(key, (key, payload))
+
+    @rule(key=KEYS)
+    def probe(self, key: int) -> None:
+        expected = self.model.get(key)
+        got = self.index.get(key)
+        assert got == (expected[1] if expected is not None else None), (
+            "get(%r) = %r, model has %r" % (key, got, expected)
+        )
+        if expected is None:
+            try:
+                self.index.lookup(key)
+            except KeyNotFoundError:
+                return
+            raise AssertionError("lookup(%r) succeeded on absent key" % key)
+        assert self.index.lookup(key) == expected[1]
+
+    @invariant()
+    def scan_agrees(self) -> None:
+        # Chains partition the key space in directory order, so a scan
+        # yields globally sorted (key, payload) pairs.
+        assert list(self.index.scan()) == self.model.records()
+
+    @invariant()
+    def engine_well_formed(self) -> None:
+        check_all(self.catalog)
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Heap file vs insertion-order model; rids stay stable forever."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.catalog = Catalog(BUFFER_PAGES, PAGE_SIZE)
+        self.heap = self.catalog.create_heap("h", kv_schema())
+        self.model = HeapModel()
+        self._next = 0
+
+    def _record(self, value: int) -> Tuple[int, int]:
+        self._next += 1
+        return (self._next, value)
+
+    @rule(value=VALUES)
+    def insert(self, value: int) -> None:
+        record = self._record(value)
+        rid = self.heap.insert(record)
+        self.model.insert(rid, record)
+        assert self.heap.fetch(rid) == record
+
+    @rule(values=st.lists(VALUES, max_size=12))
+    def insert_many(self, values) -> None:
+        records = [self._record(value) for value in values]
+        before = len(self.heap)
+        count = self.heap.insert_many(records)
+        assert count == len(records)
+        # insert_many hands out no rids; recover them from the scan tail.
+        tail = list(self.heap.scan_with_rids())[before:]
+        assert [record for _, record in tail] == records
+        for rid, record in tail:
+            self.model.insert(rid, record)
+
+    @precondition(lambda self: self.model.rids())
+    @rule(data=st.data(), value=VALUES)
+    def update(self, data, value: int) -> None:
+        rid = data.draw(st.sampled_from(self.model.rids()), label="rid")
+        record = (self.model.fetch(rid)[0], value)
+        self.heap.update(rid, record)
+        self.model.update(rid, record)
+        assert self.heap.fetch(rid) == record
+
+    @precondition(lambda self: self.model.rids())
+    @rule(data=st.data())
+    def fetch(self, data) -> None:
+        rid = data.draw(st.sampled_from(self.model.rids()), label="rid")
+        assert self.heap.fetch(rid) == self.model.fetch(rid)
+
+    @rule()
+    def truncate(self) -> None:
+        self.heap.truncate()
+        self.model.truncate()
+        assert self.heap.num_pages == 0
+
+    @invariant()
+    def scan_agrees(self) -> None:
+        assert list(self.heap.scan()) == self.model.records
+        assert len(self.heap) == len(self.model)
+
+    @invariant()
+    def engine_well_formed(self) -> None:
+        check_all(self.catalog)
+
+
+class _OracleStore:
+    """A minimal multi-relation database for the snapshot machines.
+
+    Duck-types the two members :meth:`Snapshot.freeze` needs
+    (``start_measurement`` and ``disk``) over a catalog holding one
+    B-tree and one hash file, so the oracle exercises the real
+    freeze/attach/COW machinery without building a workload database.
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog(BUFFER_PAGES, PAGE_SIZE)
+        self.disk = self.catalog.disk
+        self.pool = self.catalog.pool
+        self.tree = self.catalog.create_btree("t", kv_schema(), "key")
+        self.hash = self.catalog.create_hash("h", kv_schema(), "key", HASH_BUCKETS)
+
+    def start_measurement(self, cold: bool = True) -> None:
+        if cold:
+            self.pool.clear(flush=True)
+        self.disk.reset_counters()
+        self.pool.stats.reset()
+
+
+class _CloneState:
+    """One attached clone plus its private reference models."""
+
+    __slots__ = ("store", "tree_model", "hash_model")
+
+    def __init__(self, store, tree_model, hash_model) -> None:
+        self.store = store
+        self.tree_model = tree_model
+        self.hash_model = hash_model
+
+
+class SnapshotMachine(RuleBasedStateMachine):
+    """COW clone isolation: clones diverge, template and siblings don't.
+
+    Freezes a seeded store into a template, attaches up to four clones,
+    mutates them independently, and asserts after every step that the
+    template still matches the frozen-time model, every clone matches
+    its own model, frozen template pages refuse direct mutation, and
+    all catalogs stay well-formed.
+    """
+
+    MAX_CLONES = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.template: Optional[Snapshot] = None
+        self.template_tree: Optional[KeyedModel] = None
+        self.template_hash: Optional[KeyedModel] = None
+        self.clones: List[_CloneState] = []
+
+    @initialize(keys=st.sets(KEYS, max_size=25))
+    def freeze_template(self, keys) -> None:
+        base = _OracleStore()
+        tree_model = KeyedModel()
+        hash_model = KeyedModel()
+        for key, value in _sorted_records(keys):
+            base.tree.insert((key, value))
+            tree_model.insert(key, (key, value))
+            base.hash.insert((key, value))
+            hash_model.insert(key, (key, value))
+        self.template = Snapshot.freeze(base)
+        self.template_tree = tree_model
+        self.template_hash = hash_model
+
+    @precondition(lambda self: len(self.clones) < SnapshotMachine.MAX_CLONES)
+    @rule()
+    def spawn_clone(self) -> None:
+        clone = self.template.attach()
+        self.clones.append(
+            _CloneState(
+                clone, self.template_tree.copy(), self.template_hash.copy()
+            )
+        )
+
+    def _pick(self, data) -> _CloneState:
+        return data.draw(st.sampled_from(self.clones), label="clone")
+
+    @precondition(lambda self: self.clones)
+    @rule(data=st.data(), key=KEYS, value=VALUES)
+    def clone_tree_insert(self, data, key: int, value: int) -> None:
+        clone = self._pick(data)
+        record = (key, value)
+        try:
+            clone.store.tree.insert(record)
+        except DuplicateKeyError:
+            assert clone.tree_model.get(key) is not None
+        else:
+            assert clone.tree_model.get(key) is None
+            clone.tree_model.insert(key, record)
+
+    @precondition(lambda self: self.clones)
+    @rule(data=st.data(), key=KEYS)
+    def clone_tree_delete(self, data, key: int) -> None:
+        clone = self._pick(data)
+        removed = clone.store.tree.delete_if_present(key)
+        assert removed == (clone.tree_model.delete(key) is not None)
+
+    @precondition(lambda self: self.clones)
+    @rule(data=st.data(), key=KEYS, value=VALUES)
+    def clone_hash_upsert(self, data, key: int, value: int) -> None:
+        clone = self._pick(data)
+        record = (key, value)
+        clone.store.hash.upsert(record)
+        if not clone.hash_model.replace(key, record):
+            clone.hash_model.insert(key, record)
+
+    @precondition(lambda self: self.clones)
+    @rule(data=st.data(), key=KEYS)
+    def clone_hash_delete(self, data, key: int) -> None:
+        clone = self._pick(data)
+        removed = clone.store.hash.delete_if_present(key)
+        assert removed == (clone.hash_model.delete(key) is not None)
+
+    @precondition(lambda self: self.template is not None)
+    @rule()
+    def template_refuses_direct_mutation(self) -> None:
+        disk = self.template._db.disk
+        tree = self.template._db.tree
+        for page_no in range(disk.num_pages(tree.file_id)):
+            page = disk.peek_page(PageId(tree.file_id, page_no))
+            if len(page):
+                try:
+                    page.delete(0)
+                except FrozenPageError:
+                    return
+                raise AssertionError("frozen template page accepted a delete")
+        # An all-empty template tree has nothing to refuse; that's fine.
+
+    @invariant()
+    def template_unchanged(self) -> None:
+        if self.template is None:
+            return
+        template_db = self.template._db
+        assert list(template_db.tree.scan()) == self.template_tree.records()
+        assert sorted(template_db.hash.scan()) == sorted(
+            self.template_hash.records()
+        )
+
+    @invariant()
+    def clones_isolated(self) -> None:
+        for clone in self.clones:
+            assert list(clone.store.tree.scan()) == clone.tree_model.records()
+            assert sorted(clone.store.hash.scan()) == sorted(
+                clone.hash_model.records()
+            )
+            check_all(clone.store.catalog)
+
+
+#: The disk-level fault sites a crash-consistency run may arm.
+DISK_SITES = ("disk.read", "disk.torn", "disk.write")
+
+
+class CrashConsistencyMachine(RuleBasedStateMachine):
+    """Fault-interleaved rules with recovery checked against the model.
+
+    State is two-tier, mirroring the sweep layer: a *durable* frozen
+    snapshot (also persisted through a checksummed
+    :class:`SnapshotStore`) plus its reference model, and a *working*
+    clone with a working model.  Operations run against the working
+    clone; while a fault plan is armed any of them may raise
+    :class:`FaultInjected` mid-mutation.  That is treated as a crash:
+    the torn clone is discarded, a fresh clone is attached from the
+    durable snapshot, and the recovered store must equal the durable
+    model exactly.  ``commit`` quiesces faults and promotes the working
+    state to a new durable snapshot; ``reload_durable_from_store``
+    round-trips the durable snapshot through disk, optionally under a
+    ``snapshot.load`` corruption, asserting corrupt bytes are always
+    quarantined (never served) and clean bytes reproduce the model.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tmpdir = tempfile.mkdtemp(prefix="repro-oracle-")
+        self.store = SnapshotStore(
+            self.tmpdir, fingerprint="oracle", format="pickle"
+        )
+        self.durable: Optional[Snapshot] = None
+        self.durable_tree = KeyedModel()
+        self.durable_hash = KeyedModel()
+        self.working: Optional[Any] = None
+        self.work_tree = KeyedModel()
+        self.work_hash = KeyedModel()
+        self.armed = False
+        self.crashes = 0
+        self.commits = 0
+
+    def teardown(self) -> None:
+        _fault.clear()
+        shutil.rmtree(self.tmpdir, ignore_errors=True)
+
+    @initialize(keys=st.sets(KEYS, max_size=25))
+    def seed(self, keys) -> None:
+        base = _OracleStore()
+        for key, value in _sorted_records(keys):
+            base.tree.insert((key, value))
+            self.durable_tree.insert(key, (key, value))
+            base.hash.insert((key, value))
+            self.durable_hash.insert(key, (key, value))
+        self.durable = Snapshot.freeze(base)
+        self.store.put("db", self.durable)
+        self.working = self.durable.attach()
+        self.work_tree = self.durable_tree.copy()
+        self.work_hash = self.durable_hash.copy()
+
+    # ------------------------------------------------------------------
+    # fault plumbing
+    # ------------------------------------------------------------------
+    @rule(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.sampled_from([0.05, 0.25, 1.0]),
+        sites=st.sets(st.sampled_from(DISK_SITES), min_size=1),
+        count=st.integers(min_value=1, max_value=3),
+    )
+    def arm_faults(self, seed: int, rate: float, sites, count: int) -> None:
+        _fault.install(
+            FaultPlan(
+                [FaultSpec(site, rate=rate, count=count) for site in sorted(sites)],
+                seed=seed,
+            )
+        )
+        self.armed = True
+
+    @rule()
+    def disarm_faults(self) -> None:
+        _fault.clear()
+        self.armed = False
+
+    def _crash_recover(self) -> None:
+        """A mid-operation fault crashed the working clone: recover."""
+        _fault.clear()
+        self.armed = False
+        self.crashes += 1
+        self.working = self.durable.attach()
+        self.work_tree = self.durable_tree.copy()
+        self.work_hash = self.durable_hash.copy()
+        # Recovery contract: the re-attached store IS the durable state.
+        assert list(self.working.tree.scan()) == self.durable_tree.records()
+        assert sorted(self.working.hash.scan()) == sorted(
+            self.durable_hash.records()
+        )
+        check_all(self.working.catalog)
+
+    # ------------------------------------------------------------------
+    # operations on the working clone (any may crash while armed)
+    # ------------------------------------------------------------------
+    @rule(key=KEYS, value=VALUES)
+    def tree_insert(self, key: int, value: int) -> None:
+        record = (key, value)
+        duplicate = self.work_tree.get(key) is not None
+        try:
+            self.working.tree.insert(record)
+        except FaultInjected:
+            self._crash_recover()
+            return
+        except DuplicateKeyError:
+            assert duplicate
+            return
+        assert not duplicate
+        self.work_tree.insert(key, record)
+
+    @rule(key=KEYS)
+    def tree_delete(self, key: int) -> None:
+        try:
+            removed = self.working.tree.delete_if_present(key)
+        except FaultInjected:
+            self._crash_recover()
+            return
+        assert removed == (self.work_tree.delete(key) is not None)
+
+    @rule(key=KEYS, value=VALUES)
+    def tree_update(self, key: int, value: int) -> None:
+        present = self.work_tree.get(key) is not None
+        try:
+            record = self.working.tree.update_field(key, "value", value)
+        except FaultInjected:
+            self._crash_recover()
+            return
+        except KeyNotFoundError:
+            assert not present
+            return
+        assert present
+        self.work_tree.replace(key, record)
+
+    @rule(key=KEYS, value=VALUES)
+    def hash_upsert(self, key: int, value: int) -> None:
+        record = (key, value)
+        try:
+            self.working.hash.upsert(record)
+        except FaultInjected:
+            self._crash_recover()
+            return
+        if not self.work_hash.replace(key, record):
+            self.work_hash.insert(key, record)
+
+    @rule(key=KEYS)
+    def hash_delete(self, key: int) -> None:
+        try:
+            removed = self.working.hash.delete_if_present(key)
+        except FaultInjected:
+            self._crash_recover()
+            return
+        assert removed == (self.work_hash.delete(key) is not None)
+
+    # ------------------------------------------------------------------
+    # durability boundary
+    # ------------------------------------------------------------------
+    @rule()
+    def commit(self) -> None:
+        """Quiesce faults and promote the working state to durable."""
+        _fault.clear()
+        self.armed = False
+        self.durable = Snapshot.freeze(self.working)
+        self.durable_tree = self.work_tree.copy()
+        self.durable_hash = self.work_hash.copy()
+        self.store.put("db", self.durable)
+        self.working = self.durable.attach()
+        self.work_tree = self.durable_tree.copy()
+        self.work_hash = self.durable_hash.copy()
+        self.commits += 1
+
+    @precondition(lambda self: not self.armed)
+    @rule(corrupt=st.booleans())
+    def reload_durable_from_store(self, corrupt: bool) -> None:
+        """Cold-read the durable snapshot, optionally under corruption.
+
+        A fresh store instance forces the on-disk path (the writer's
+        memory tier would otherwise answer).  Corrupt bytes must be
+        detected, quarantined and reported as a miss — never served —
+        after which the deterministic rebuild (re-``put`` of the live
+        durable snapshot) must restore the cache.  A clean read must
+        reproduce the durable model bit for bit.
+        """
+        reader = SnapshotStore(self.tmpdir, fingerprint="oracle", format="pickle")
+        if corrupt:
+            _fault.install(
+                FaultPlan([FaultSpec("snapshot.load", rate=1.0, count=1)], seed=1)
+            )
+        try:
+            loaded = reader.get("db")
+        finally:
+            _fault.clear()
+        if corrupt:
+            assert loaded is None, "corrupted snapshot bytes were served"
+            assert reader.stats["corrupt"] == 1
+            self.store.put("db", self.durable)  # deterministic rebuild
+            return
+        assert loaded is not None, "clean stored snapshot failed to load"
+        revived = loaded.attach()
+        assert list(revived.tree.scan()) == self.durable_tree.records()
+        assert sorted(revived.hash.scan()) == sorted(self.durable_hash.records())
+
+    # ------------------------------------------------------------------
+    # per-step verification (only when quiescent: scans may fault)
+    # ------------------------------------------------------------------
+    @invariant()
+    def working_agrees_when_quiescent(self) -> None:
+        if self.armed or self.working is None:
+            return
+        assert list(self.working.tree.scan()) == self.work_tree.records()
+        assert sorted(self.working.hash.scan()) == sorted(
+            self.work_hash.records()
+        )
+        check_all(self.working.catalog)
+
+
+#: Registry used by the fuzz CLI and the stateful test modules.
+MACHINES = {
+    "btree": BTreeMachine,
+    "hash": HashMachine,
+    "isam": IsamMachine,
+    "heap": HeapMachine,
+    "snapshot": SnapshotMachine,
+    "crash": CrashConsistencyMachine,
+}

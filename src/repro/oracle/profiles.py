@@ -1,0 +1,86 @@
+"""Tiered Hypothesis settings profiles.
+
+One registry shared by every consumer of hypothesis in this repo: the
+property tests in ``tests/test_properties.py``, the stateful suites in
+``tests/stateful/`` and the ``repro fuzz`` CLI all draw their budgets
+from here instead of sprinkling ad-hoc ``@settings(...)`` calls.
+
+Tiers (example budgets scale roughly 5x per step):
+
+* ``quick``         — tier-1 CI and the default for a bare ``pytest``
+  run: enough examples to catch regressions, small step counts, fast;
+* ``standard``      — a developer's pre-push run;
+* ``state_machine`` — the CI deep-fuzz step: long stateful sequences,
+  fixed budget, still time-bounded;
+* ``deep``          — overnight ``repro fuzz`` campaigns.
+
+Select one under pytest with ``HYPOTHESIS_PROFILE=<name>`` (wired in
+``tests/conftest.py``); the ``repro fuzz`` CLI takes ``--profile``.
+
+Every tier disables deadlines (the first example often pays a one-off
+database build) and keeps ``derandomize=False`` so seeded replay via
+``@seed``/``--seed`` stays meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from hypothesis import HealthCheck, settings
+
+#: Tier name -> settings kwargs.  ``stateful_step_count`` is ignored by
+#: plain ``@given`` tests and bounds rule counts in the state machines.
+PROFILES: Dict[str, Dict[str, Any]] = {
+    "quick": dict(max_examples=25, stateful_step_count=12),
+    "standard": dict(max_examples=100, stateful_step_count=30),
+    "state_machine": dict(max_examples=150, stateful_step_count=50),
+    "deep": dict(max_examples=750, stateful_step_count=80),
+}
+
+_COMMON: Dict[str, Any] = dict(
+    deadline=None,
+    derandomize=False,
+    suppress_health_check=(HealthCheck.too_slow, HealthCheck.data_too_large),
+)
+
+
+def register_profiles(database: Optional[Any] = None) -> None:
+    """Register every tier with Hypothesis (idempotent).
+
+    ``database`` optionally pins all tiers to a shared example database
+    (the committed failure corpus) so a counterexample shrunk by one
+    consumer replays in every other.
+    """
+    for name, overrides in PROFILES.items():
+        kwargs = dict(_COMMON)
+        kwargs.update(overrides)
+        if database is not None:
+            kwargs["database"] = database
+        settings.register_profile(name, **kwargs)
+
+
+def profile_settings(
+    name: str,
+    database: Optional[Any] = None,
+    max_examples: Optional[int] = None,
+    stateful_step_count: Optional[int] = None,
+) -> settings:
+    """A :class:`hypothesis.settings` for tier ``name`` with overrides.
+
+    Used by the ``repro fuzz`` CLI, which needs per-run settings objects
+    (corpus database, ``--examples``/``--steps`` overrides) rather than
+    the process-global loaded profile.
+    """
+    if name not in PROFILES:
+        raise KeyError(
+            "unknown profile %r (choose from %s)" % (name, ", ".join(PROFILES))
+        )
+    kwargs = dict(_COMMON)
+    kwargs.update(PROFILES[name])
+    if database is not None:
+        kwargs["database"] = database
+    if max_examples is not None:
+        kwargs["max_examples"] = max_examples
+    if stateful_step_count is not None:
+        kwargs["stateful_step_count"] = stateful_step_count
+    return settings(**kwargs)

@@ -386,6 +386,33 @@ class BTreeFile:
             path.append(node)
         return path
 
+    def _descend_for_insert(self, key: Any) -> List[int]:
+        """Descend for a write, keeping entry-0 separators true bounds.
+
+        A key below a node's first separator is clamped into child 0,
+        so entry 0's separator must be lowered to ``key`` as we pass:
+        left stale, a later split of that subtree can emit a separator
+        at or below the old fence, breaking the strict separator order
+        that routing relies on (keys become unreachable).
+        """
+        if self._root is None:
+            raise KeyNotFoundError("btree %r is empty" % self.name)
+        path = [self._root]
+        node = self._root
+        while not self._meta[node].is_leaf:
+            page = self._fetch(node)
+            seps = self._separators(page)
+            idx = bisect.bisect_right(seps, key) - 1
+            if idx < 0:
+                idx = 0
+                page = self._fetch_writable(node)
+                child = page.get(0)[1]
+                page.replace(0, (key, child), INDEX_ENTRY_BYTES)
+                self.pool.mark_dirty(page.page_id)
+            node = page.get(idx)[1]
+            path.append(node)
+        return path
+
     def _descend_leaf(self, key: Any, ids: List[PageId]) -> int:
         """The leaf page number for ``key`` (identical touches to
         :meth:`_descend`, without materializing the path list)."""
@@ -586,7 +613,7 @@ class BTreeFile:
             self._num_records += 1
             return
 
-        path = self._descend(key)
+        path = self._descend_for_insert(key)
         leaf_no = path[-1]
         page = self._fetch_writable(leaf_no)
         keys = self._leaf_keys(page)
@@ -665,8 +692,17 @@ class BTreeFile:
         self._insert_separator(path[:-1], right[0][0], right_no)
 
     def _lowest_key(self, node_no: int) -> Any:
-        while not self._meta[node_no].is_leaf:
-            node_no = self._fetch(node_no).get(0)[1]
+        """A lower bound for every key in the subtree at ``node_no``.
+
+        For an internal node the first separator is already a
+        maintained lower bound (see :meth:`_descend_for_insert`), and
+        descending instead could land on a leftmost leaf emptied by
+        lazy deletes — whose ``None`` would poison the new root's
+        separator order.  A leaf here is only ever the just-split old
+        root, whose left half is never empty.
+        """
+        if not self._meta[node_no].is_leaf:
+            return self._fetch(node_no).get(0)[0]
         page = self._fetch(node_no)
         return self._key(page.get(0)) if len(page) else None
 
@@ -771,8 +807,22 @@ class BTreeFile:
     # invariants (for tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Verify ordering and chain structure without charging I/O."""
+        """Verify ordering, structure and occupancy without charging I/O.
+
+        Checks, in order: the leaf chain covers exactly ``num_records``
+        in key order; every node reachable from the root has metadata,
+        exact page byte accounting, and keys/separators inside the fence
+        bounds implied by its ancestors; all leaves sit at ``height``;
+        the left-to-right leaf order of the tree equals the leaf chain;
+        and every allocated page is part of the tree.  All reads go
+        through :meth:`DiskManager.peek_page`, so a check perturbs
+        neither the I/O counters nor the buffer pool.
+        """
         if self._root is None:
+            if self._num_records:
+                raise AssertionError(
+                    "empty btree %r claims %d records" % (self.name, self._num_records)
+                )
             return
         disk = self.pool.disk
         # Leaf chain covers all records in nondecreasing key order.
@@ -794,4 +844,83 @@ class BTreeFile:
         if seen != self._num_records:
             raise AssertionError(
                 "leaf chain has %d records, expected %d" % (seen, self._num_records)
+            )
+        # Structural walk from the root: fence bounds, typing, depth,
+        # byte accounting.  The DFS pushes children right-to-left so
+        # leaves are visited in tree (left-to-right) order.
+        meta = self._meta
+        key_of = self._key
+        ordered_leaves: List[int] = []
+        reachable = set()
+        stack: List[Tuple[int, int, Any, Any]] = [(self._root, 1, None, None)]
+        while stack:
+            node, depth, lo, hi = stack.pop()
+            if node in reachable:
+                raise AssertionError("page %d reached twice in btree walk" % node)
+            reachable.add(node)
+            node_meta = meta.get(node)
+            if node_meta is None:
+                raise AssertionError("page %d has no node metadata" % node)
+            page = disk.peek_page(PageId(self.file_id, node))
+            page.check_invariants()
+            if node_meta.is_leaf:
+                if depth != self.height:
+                    raise AssertionError(
+                        "leaf %d at depth %d in a tree of height %d"
+                        % (node, depth, self.height)
+                    )
+                ordered_leaves.append(node)
+                for record in page:
+                    key = key_of(record)
+                    if lo is not None and key < lo:
+                        raise AssertionError(
+                            "key %r in leaf %d below fence %r" % (key, node, lo)
+                        )
+                    # Non-unique trees may split a run of equal keys
+                    # across a separator, so the upper fence is inclusive
+                    # for them and exclusive for unique trees.
+                    if hi is not None and (key > hi or (self.unique and key == hi)):
+                        raise AssertionError(
+                            "key %r in leaf %d above fence %r" % (key, node, hi)
+                        )
+            else:
+                entries = page.record_batch()
+                if not entries:
+                    raise AssertionError("internal node %d is empty" % node)
+                seps = [entry[0] for entry in entries]
+                # A non-unique tree may split a run of equal keys, so
+                # its separators need only be non-decreasing.
+                if self.unique:
+                    bad = any(seps[i] >= seps[i + 1] for i in range(len(seps) - 1))
+                else:
+                    bad = any(seps[i] > seps[i + 1] for i in range(len(seps) - 1))
+                if bad:
+                    raise AssertionError(
+                        "separators of node %d out of order" % node
+                    )
+                for i in range(len(entries) - 1, -1, -1):
+                    # Child 0 also receives keys below seps[0] (the
+                    # descent clamps), so it inherits the parent's fence.
+                    child_lo = lo if i == 0 else seps[i]
+                    child_hi = seps[i + 1] if i + 1 < len(seps) else hi
+                    stack.append((entries[i][1], depth + 1, child_lo, child_hi))
+        if reachable != set(meta):
+            raise AssertionError(
+                "tree reaches %d pages but metadata tracks %d"
+                % (len(reachable), len(meta))
+            )
+        if len(reachable) != self.num_pages:
+            raise AssertionError(
+                "tree reaches %d pages of %d allocated"
+                % (len(reachable), self.num_pages)
+            )
+        # The leaf chain must be exactly the tree's left-to-right leaves.
+        chain: List[int] = []
+        node = self._first_leaf
+        while node is not None:
+            chain.append(node)
+            node = meta[node].next_leaf
+        if chain != ordered_leaves:
+            raise AssertionError(
+                "leaf chain %r disagrees with tree order %r" % (chain, ordered_leaves)
             )

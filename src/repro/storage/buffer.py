@@ -422,6 +422,44 @@ class BufferPool:
     def pinned_count(self) -> int:
         return sum(1 for f in self._frames.values() if f.pins > 0)
 
+    def check_invariants(self) -> None:
+        """Verify frame-table, pin and replacement bookkeeping (debug hook).
+
+        Capacity is a hard bound, pins never go negative, every frame is
+        keyed by its page's own id, and the replacement-policy side
+        structures agree with the frame table: LRU keeps them empty,
+        clock keeps every resident page in the ring (stale ring entries
+        for evicted pages are legal — the sweep filters them lazily) and
+        never tracks a reference bit for a non-resident page.
+        """
+        if len(self._frames) > self.capacity:
+            raise AssertionError(
+                "pool holds %d frames over capacity %d"
+                % (len(self._frames), self.capacity)
+            )
+        for page_id, frame in self._frames.items():
+            if frame.pins < 0:
+                raise AssertionError("negative pin count on %s" % (page_id,))
+            if frame.page.page_id != page_id:
+                raise AssertionError(
+                    "frame keyed %s holds page %s" % (page_id, frame.page.page_id)
+                )
+        if self._is_lru:
+            if self._referenced or self._clock_ring:
+                raise AssertionError("LRU pool carries clock-policy state")
+        else:
+            ring = set(self._clock_ring)
+            for page_id in self._frames:
+                if page_id not in ring:
+                    raise AssertionError(
+                        "resident page %s missing from the clock ring" % (page_id,)
+                    )
+            for page_id in self._referenced:
+                if page_id not in self._frames:
+                    raise AssertionError(
+                        "reference bit tracked for non-resident %s" % (page_id,)
+                    )
+
     def __len__(self) -> int:
         return len(self._frames)
 

@@ -221,6 +221,75 @@ class HashFile:
         return self._num_records
 
     # ------------------------------------------------------------------
+    # invariants (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify overflow-chain integrity without charging I/O.
+
+        Chains are acyclic and disjoint, never route through another
+        bucket's primary page, and carry no empty overflow pages (the
+        delete path unlinks them eagerly).  Every record sits in the
+        chain of the bucket its key hashes to, keys are unique across
+        the file, the record tally matches, the free list is disjoint
+        from the chains, and chains plus free list account for every
+        allocated page.  Pages are read via
+        :meth:`DiskManager.peek_page` — no I/O, no pool perturbation.
+        """
+        disk = self.pool.disk
+        visited = set()
+        keys = set()
+        total = 0
+        for bucket in range(self.buckets):
+            for page_no in self._chain(bucket):
+                if page_no in visited:
+                    raise AssertionError(
+                        "page %d chained twice (cycle or shared chain)" % page_no
+                    )
+                visited.add(page_no)
+                if page_no != bucket and page_no < self.buckets:
+                    raise AssertionError(
+                        "chain of bucket %d routes through primary page %d"
+                        % (bucket, page_no)
+                    )
+                page = disk.peek_page(PageId(self.file_id, page_no))
+                page.check_invariants()
+                if page_no >= self.buckets and not len(page):
+                    raise AssertionError(
+                        "empty overflow page %d left in chain of bucket %d"
+                        % (page_no, bucket)
+                    )
+                for record in page:
+                    key = self._key(record)
+                    if key in keys:
+                        raise AssertionError("duplicate key %r in hash file" % (key,))
+                    keys.add(key)
+                    home = self._bucket(key)
+                    if home != bucket:
+                        raise AssertionError(
+                            "key %r hashes to bucket %d but sits in chain of %d"
+                            % (key, home, bucket)
+                        )
+                total += len(page)
+        if total != self._num_records:
+            raise AssertionError(
+                "chains hold %d records, expected %d" % (total, self._num_records)
+            )
+        free = self._free_overflow
+        if len(set(free)) != len(free):
+            raise AssertionError("free overflow list holds duplicates: %r" % (free,))
+        for page_no in free:
+            if page_no < self.buckets:
+                raise AssertionError("primary page %d on the free list" % page_no)
+            if page_no in visited:
+                raise AssertionError("free-listed page %d still chained" % page_no)
+        allocated = set(range(self.num_pages))
+        if visited | set(free) != allocated:
+            raise AssertionError(
+                "orphaned or phantom pages: chained %r + free %r != allocated %d"
+                % (sorted(visited), sorted(free), len(allocated))
+            )
+
+    # ------------------------------------------------------------------
     def _grab_overflow_page(self) -> int:
         if self._free_overflow:
             return self._free_overflow.pop()

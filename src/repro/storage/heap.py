@@ -288,6 +288,40 @@ class HeapFile:
     def __len__(self) -> int:
         return self._num_records
 
+    # ------------------------------------------------------------------
+    # invariants (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify page accounting and tail bookkeeping (debug hook).
+
+        The record tally must equal the sum over all pages, every page's
+        byte accounting must hold, and the cached tail page number must
+        point at the last allocated page (or be None exactly when the
+        file has no pages).  Reads go through
+        :meth:`DiskManager.peek_page` — no I/O, no pool perturbation.
+        """
+        disk = self.pool.disk
+        num_pages = self.num_pages
+        total = 0
+        for page_no in range(num_pages):
+            page = disk.peek_page(PageId(self.file_id, page_no))
+            page.check_invariants()
+            total += len(page)
+        if total != self._num_records:
+            raise AssertionError(
+                "pages hold %d records, expected %d" % (total, self._num_records)
+            )
+        if self._tail_page_no is None:
+            if num_pages:
+                raise AssertionError(
+                    "heap %r has %d pages but no tail" % (self.name, num_pages)
+                )
+        elif self._tail_page_no != num_pages - 1:
+            raise AssertionError(
+                "tail page %d is not the last of %d pages"
+                % (self._tail_page_no, num_pages)
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "HeapFile(%r, %d records, %d pages)" % (
             self.name,

@@ -186,3 +186,84 @@ class IsamIndex:
 
     def __len__(self) -> int:
         return self._num_entries
+
+    # ------------------------------------------------------------------
+    # invariants (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify directory, chain and ordering structure (debug hook).
+
+        The directory is strictly increasing and parallel to the primary
+        page list; chains are acyclic and disjoint; every page is
+        individually sorted (cross-page order within a chain is NOT an
+        invariant — overflow pages fill in insertion order and
+        :meth:`scan` re-sorts per chain); every key lies in its chain's
+        covering directory range, keys are unique, tallies match, and
+        chains account for every allocated page.  Reads go through
+        :meth:`DiskManager.peek_page` — no I/O is charged.
+        """
+        if not self._built:
+            if self._num_entries or self._primary_nos or self._overflow_next:
+                raise AssertionError("unbuilt isam %r carries state" % self.name)
+            return
+        directory = self._directory
+        if len(directory) != len(self._primary_nos):
+            raise AssertionError(
+                "directory has %d entries for %d primary pages"
+                % (len(directory), len(self._primary_nos))
+            )
+        if any(directory[i] >= directory[i + 1] for i in range(len(directory) - 1)):
+            raise AssertionError("isam directory not strictly increasing")
+        disk = self.pool.disk
+        visited = set()
+        seen_keys = set()
+        total = 0
+        for idx, start in enumerate(self._primary_nos):
+            lo = directory[idx]
+            hi = directory[idx + 1] if idx + 1 < len(directory) else None
+            for page_no in self._chain(start):
+                if page_no in visited:
+                    raise AssertionError(
+                        "page %d chained twice (cycle or shared chain)" % page_no
+                    )
+                visited.add(page_no)
+                page = disk.peek_page(PageId(self.file_id, page_no))
+                page.check_invariants()
+                page_keys = [entry[0] for entry in page.record_batch()]
+                if not page_keys:
+                    raise AssertionError("empty page %d in isam chain" % page_no)
+                if any(
+                    page_keys[i] >= page_keys[i + 1]
+                    for i in range(len(page_keys) - 1)
+                ):
+                    raise AssertionError("page %d not sorted within itself" % page_no)
+                if page_no == start and idx > 0 and page_keys[0] != lo:
+                    # The first chain also covers keys below directory[0]
+                    # (the probe clamps), so only later primaries must
+                    # open with their directory key.
+                    raise AssertionError(
+                        "primary page %d opens with %r, directory says %r"
+                        % (page_no, page_keys[0], lo)
+                    )
+                for key in page_keys:
+                    if key in seen_keys:
+                        raise AssertionError("duplicate key %r in isam" % (key,))
+                    seen_keys.add(key)
+                    if idx > 0 and key < lo:
+                        raise AssertionError(
+                            "key %r below covering range of chain %d" % (key, idx)
+                        )
+                    if hi is not None and key >= hi:
+                        raise AssertionError(
+                            "key %r above covering range of chain %d" % (key, idx)
+                        )
+                total += len(page_keys)
+        if total != self._num_entries:
+            raise AssertionError(
+                "chains hold %d entries, expected %d" % (total, self._num_entries)
+            )
+        if visited != set(range(self.num_pages)):
+            raise AssertionError(
+                "chains reach %d pages of %d allocated"
+                % (len(visited), self.num_pages)
+            )

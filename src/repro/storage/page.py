@@ -394,6 +394,46 @@ class Page:
         """Iterate ``(slot, record)`` pairs."""
         return enumerate(self.record_batch())
 
+    # ------------------------------------------------------------------
+    # invariants (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the slot table and byte accounting (debug hook).
+
+        The incremental ``used_bytes``/``free_bytes`` bookkeeping must
+        always equal what a re-derivation from the slot table gives:
+        header plus one slot entry and the recorded size per record.
+        Byte-form pages are decoded first; nothing here touches the
+        buffer pool or the I/O counters.
+        """
+        records = self.records
+        if records is None:
+            records = self._materialize()
+        sizes = self._sizes
+        if sizes is None or len(records) != len(sizes):
+            raise AssertionError(
+                "page %s slot table out of step: %d records, %r sizes"
+                % (self.page_id, len(records), None if sizes is None else len(sizes))
+            )
+        expected = PAGE_HEADER_BYTES + sum(sizes) + len(sizes) * SLOT_BYTES
+        if self.used_bytes != expected:
+            raise AssertionError(
+                "page %s used_bytes=%d but slot table sums to %d"
+                % (self.page_id, self.used_bytes, expected)
+            )
+        if self.free_bytes != self.capacity - self.used_bytes:
+            raise AssertionError(
+                "page %s free_bytes=%d is not capacity %d minus used %d"
+                % (self.page_id, self.free_bytes, self.capacity, self.used_bytes)
+            )
+        if self.used_bytes > self.capacity:
+            raise AssertionError(
+                "page %s overflows its capacity: %d > %d"
+                % (self.page_id, self.used_bytes, self.capacity)
+            )
+        if any(size < 0 for size in sizes):
+            raise AssertionError("page %s records a negative size" % (self.page_id,))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "Page(%s, %d records, %d/%d bytes)" % (
             self.page_id,

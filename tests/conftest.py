@@ -1,13 +1,30 @@
-"""Shared fixtures: small catalogs, parameter points and built databases."""
+"""Shared fixtures: small catalogs, parameter points and built databases.
+
+Also the single place Hypothesis gets configured: every tier from
+``repro.oracle.profiles`` is registered against the committed failure
+corpus in ``tests/stateful/corpus/`` and one is loaded from the
+``HYPOTHESIS_PROFILE`` environment variable (default ``quick``, the
+tier-1 CI budget).  Property tests and the stateful suites therefore
+share example budgets and replay each other's shrunk counterexamples.
+"""
 
 from __future__ import annotations
 
-import pytest
+import os
 
+import pytest
+from hypothesis import settings as hyp_settings
+from hypothesis.database import DirectoryBasedExampleDatabase
+
+from repro.oracle.profiles import register_profiles
 from repro.storage.catalog import Catalog
 from repro.storage.record import CharField, IntField, Schema
 from repro.workload.generator import build_database
 from repro.workload.params import WorkloadParams
+
+_CORPUS = os.path.join(os.path.dirname(__file__), "stateful", "corpus")
+register_profiles(database=DirectoryBasedExampleDatabase(_CORPUS))
+hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "quick"))
 
 
 @pytest.fixture

@@ -1,0 +1,191 @@
+"""A sqlite3 referee for the serve layer's replay oracle.
+
+``replay_oracle`` replays a serve run through the engine itself, so an
+engine bug that corrupts serving and replay identically would go
+unseen.  This suite re-derives every acknowledged retrieve digest from
+an *independent* implementation: the base snapshot's parent/child
+relations are exported into an in-memory sqlite3 database, the epoch
+log's updates are applied as SQL UPDATEs, and each retrieve re-executes
+as a join ordered exactly the way the DFS strategy orders its results
+(parents by OID, children by position within the parent).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.serve.server import ServeRequest, SnapshotServer, result_digest
+from repro.storage.snapshot import Snapshot
+from repro.util.rng import derive_rng
+from repro.workload.generator import build_database
+from repro.workload.queries import random_retrieve, random_update
+
+
+@pytest.fixture
+def base_snapshot(tiny_params):
+    return Snapshot.freeze(build_database(tiny_params))
+
+
+@pytest.fixture
+def dfs_server(base_snapshot):
+    srv = SnapshotServer(
+        base_snapshot,
+        strategy="DFS",
+        readers=2,
+        queue_depth=32,
+        publish_interval=0.01,
+    )
+    srv.start()
+    yield srv
+    srv.stop(join_timeout=10.0)
+
+
+def _export_to_sqlite(base_snapshot) -> sqlite3.Connection:
+    """Dump a fresh clone of the base snapshot into sqlite3 tables.
+
+    ``ref(parent, pos, rel, key)`` is the parents' ``children`` OID
+    lists; ``child(rel, key, ret1, ret2, ret3)`` is every child-relation
+    tuple.  Both are read through the engine's own scans, but everything
+    after this point — updates and retrieves — is pure SQL.
+    """
+    db = base_snapshot.attach()
+    conn = sqlite3.connect(":memory:")
+    conn.execute(
+        "CREATE TABLE ref (parent INTEGER, pos INTEGER, rel INTEGER, key INTEGER)"
+    )
+    conn.execute(
+        "CREATE TABLE child (rel INTEGER, key INTEGER,"
+        " ret1 INTEGER, ret2 INTEGER, ret3 INTEGER,"
+        " PRIMARY KEY (rel, key))"
+    )
+    for parent in db.parent_rel.scan():
+        parent_key = db.parent_key_of(parent)
+        for pos, oid in enumerate(db.children_of(parent)):
+            conn.execute(
+                "INSERT INTO ref VALUES (?, ?, ?, ?)",
+                (parent_key, pos, oid.rel - 1, oid.key),
+            )
+    schema = db.child_schema
+    for rel_index, rel in enumerate(db.child_rels):
+        for record in rel.scan():
+            conn.execute(
+                "INSERT INTO child VALUES (?, ?, ?, ?, ?)",
+                (
+                    rel_index,
+                    schema.value(record, "oid"),
+                    schema.value(record, "ret1"),
+                    schema.value(record, "ret2"),
+                    schema.value(record, "ret3"),
+                ),
+            )
+    return conn
+
+
+def _sql_retrieve(conn: sqlite3.Connection, op) -> list:
+    rows = conn.execute(
+        "SELECT c.%s FROM ref r JOIN child c ON c.rel = r.rel AND c.key = r.key"
+        " WHERE r.parent BETWEEN ? AND ? ORDER BY r.parent, r.pos" % op.attr,
+        (op.lo, op.hi),
+    ).fetchall()
+    return [row[0] for row in rows]
+
+
+def _sql_update(conn: sqlite3.Connection, op) -> None:
+    for rel_index, key in op.refs:
+        cursor = conn.execute(
+            "UPDATE child SET ret1 = ? WHERE rel = ? AND key = ?",
+            (op.value, rel_index, key),
+        )
+        assert cursor.rowcount == 1, "update ref (%d, %d) matched %d rows" % (
+            rel_index,
+            key,
+            cursor.rowcount,
+        )
+
+
+def _run_mixed(server, tiny_params, base_snapshot, seed=11):
+    rng = derive_rng(seed)
+    counts = [rel.num_records for rel in base_snapshot._db.child_rels]
+    requests = []
+    seq = 0
+    for _ in range(6):
+        requests.append(
+            ServeRequest(seq, "retrieve", random_retrieve(tiny_params, rng))
+        )
+        requests.append(
+            ServeRequest(seq + 1, "update", random_update(tiny_params, counts, rng))
+        )
+        seq += 2
+    for request in requests:
+        server.submit(request)
+    for request in requests:
+        assert request.done.wait(10.0), "request %d never finished" % request.seq
+        assert request.status == "ok"
+    return requests
+
+
+class TestSqliteReferee:
+    def test_acked_digests_match_sqlite_replay(
+        self, dfs_server, base_snapshot, tiny_params
+    ):
+        _run_mixed(dfs_server, tiny_params, base_snapshot)
+        conn = _export_to_sqlite(base_snapshot)
+        by_epoch = {}
+        for epoch, op, digest in dfs_server.acked_retrieves:
+            by_epoch.setdefault(epoch, []).append((op, digest))
+
+        def check(epoch):
+            for op, digest in by_epoch.pop(epoch, []):
+                sql_digest = result_digest(_sql_retrieve(conn, op))
+                assert sql_digest == digest, (
+                    "epoch %d: served digest %s, sqlite says %s"
+                    % (epoch, digest, sql_digest)
+                )
+
+        check(0)
+        for epoch, ops in sorted(dfs_server.epoch_log, key=lambda entry: entry[0]):
+            for op in ops:
+                _sql_update(conn, op)
+            check(epoch)
+        assert not by_epoch, (
+            "retrieves acked at never-published epochs: %s" % sorted(by_epoch)
+        )
+        conn.close()
+
+    def test_sqlite_and_engine_replay_agree(
+        self, dfs_server, base_snapshot, tiny_params
+    ):
+        """Both referees must pass on the same run: the engine-based
+        replay_oracle finds no mismatch, and the final sqlite state
+        equals a full engine replay of the epoch log."""
+        from repro.serve.server import replay_oracle
+
+        _run_mixed(dfs_server, tiny_params, base_snapshot)
+        assert (
+            replay_oracle(
+                base_snapshot,
+                dfs_server.strategy_name,
+                dfs_server.epoch_log,
+                dfs_server.acked_retrieves,
+                dfs_server.acked_updates,
+            )
+            == []
+        )
+        conn = _export_to_sqlite(base_snapshot)
+        replayed = base_snapshot.attach()
+        for epoch, ops in sorted(dfs_server.epoch_log, key=lambda entry: entry[0]):
+            for op in ops:
+                _sql_update(conn, op)
+                replayed.apply_update(op.refs, op.value)
+        schema = replayed.child_schema
+        for rel_index, rel in enumerate(replayed.child_rels):
+            for record in rel.scan():
+                row = conn.execute(
+                    "SELECT ret1 FROM child WHERE rel = ? AND key = ?",
+                    (rel_index, schema.value(record, "oid")),
+                ).fetchone()
+                assert row is not None
+                assert row[0] == schema.value(record, "ret1")
+        conn.close()

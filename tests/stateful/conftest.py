@@ -1,0 +1,19 @@
+"""Fixtures for the stateful (state-machine) suites.
+
+The machines in :mod:`repro.oracle.machines` arm process-global fault
+plans; a test that dies mid-rule must never leak an armed plan into the
+next test, so clearing is autouse on both sides of every test here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fault import plan as _fault
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_fault_plan():
+    _fault.clear()
+    yield
+    _fault.clear()

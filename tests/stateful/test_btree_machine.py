@@ -1,0 +1,15 @@
+"""B-tree differential fuzz: random inserts/deletes/updates/lookups vs
+a dict-of-lists model AND an in-memory sqlite3 mirror, with the tree's
+structural invariants (separator order, fences, leaf chain, occupancy
+accounting) checked after every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.oracle.machines import BTreeMachine
+
+
+def test_btree_state_machine():
+    run_state_machine_as_test(BTreeMachine, settings=settings())

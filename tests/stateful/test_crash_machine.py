@@ -1,0 +1,20 @@
+"""Fault-interleaved crash-consistency fuzz.
+
+Rules may arm a seeded FaultPlan over the disk sites (read errors, torn
+reads, write errors) mid-sequence; any operation that dies with
+FaultInjected is treated as a crash, the working clone is discarded,
+and a fresh clone is re-attached from the last durable snapshot — which
+must then equal the durable reference model exactly.  Commits travel
+through the checksummed SnapshotStore, and a reload rule corrupts the
+stored bytes to drive the quarantine path."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.oracle.machines import CrashConsistencyMachine
+
+
+def test_crash_consistency_state_machine():
+    run_state_machine_as_test(CrashConsistencyMachine, settings=settings())

@@ -1,0 +1,14 @@
+"""Heap-file differential fuzz: insert/insert_many/update/fetch/truncate
+against an insertion-order model keyed by the engine's own rids, with
+tail-page and record-count accounting checked after every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.oracle.machines import HeapMachine
+
+
+def test_heap_state_machine():
+    run_state_machine_as_test(HeapMachine, settings=settings())

@@ -1,0 +1,14 @@
+"""ISAM differential fuzz: a built directory plus random overflow
+inserts and probes, with directory ordering, per-page sortedness and
+overflow-chain coverage checked after every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.oracle.machines import IsamMachine
+
+
+def test_isam_state_machine():
+    run_state_machine_as_test(IsamMachine, settings=settings())

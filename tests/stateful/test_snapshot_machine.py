@@ -1,0 +1,15 @@
+"""Snapshot/clone differential fuzz: a frozen template plus up to four
+live clones mutated independently; checks COW isolation (no clone ever
+sees another's writes, the template never changes, direct template
+mutation raises FrozenPageError) after every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.oracle.machines import SnapshotMachine
+
+
+def test_snapshot_state_machine():
+    run_state_machine_as_test(SnapshotMachine, settings=settings())

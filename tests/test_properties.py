@@ -1,8 +1,13 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+Example budgets come from the shared profile loaded in ``conftest.py``
+(``HYPOTHESIS_PROFILE``, default ``quick``); tests do not pin their own
+``@settings`` so one knob scales the whole suite.
+"""
 
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.cache import UnitCache, unit_hashkey
 from repro.core.oid import KEY_SPACE, Oid
@@ -99,7 +104,6 @@ def _tree(catalog_pages=32):
     return catalog.create_btree("t", schema, "key")
 
 
-@settings(max_examples=40, deadline=None)
 @given(keys=st.lists(st.integers(0, 5000), unique=True, max_size=250))
 def test_btree_insert_matches_sorted_model(keys):
     tree = _tree()
@@ -111,7 +115,6 @@ def test_btree_insert_matches_sorted_model(keys):
         assert tree.lookup_one(k) == (k, k * 3)
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     keys=st.lists(st.integers(0, 2000), unique=True, min_size=1, max_size=200),
     lo=st.integers(0, 2000),
@@ -125,7 +128,6 @@ def test_btree_range_scan_matches_model(keys, lo, span):
     assert got == [k for k in sorted(keys) if lo <= k <= hi]
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     initial=st.lists(st.integers(0, 3000), unique=True, min_size=1, max_size=150),
     extra=st.lists(st.integers(3001, 6000), unique=True, max_size=80),
@@ -144,7 +146,6 @@ def test_btree_bulk_load_then_insert(initial, extra):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(
@@ -185,7 +186,6 @@ def test_hashfile_matches_dict_model(ops):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     values=st.lists(st.integers(-10**6, 10**6), max_size=400),
     workspace=st.integers(3, 8),
@@ -201,7 +201,6 @@ def test_external_sort_matches_sorted(values, workspace):
     result.drop()
 
 
-@settings(max_examples=40, deadline=None)
 @given(values=st.lists(st.integers(0, 50), max_size=200))
 def test_external_sort_distinct_matches_set(values):
     catalog = Catalog(buffer_pages=16, page_size=512)
@@ -219,7 +218,6 @@ def test_external_sort_distinct_matches_set(values):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     unit_keys=st.lists(
         st.lists(st.integers(0, 60), unique=True, min_size=1, max_size=4),
@@ -272,7 +270,6 @@ def _shared_db():
     return _shared_db.db
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     lo=st.integers(0, 119),
     span=st.integers(0, 40),
@@ -319,7 +316,6 @@ def test_percentile_bounds(values):
 # ----------------------------------------------------------------------
 
 
-@settings(max_examples=40, deadline=None)
 @given(
     data=st.lists(
         st.tuples(
@@ -359,7 +355,6 @@ def test_cluster_assignment_invariants(data, seed):
                 assert (0, key) in assignment.home_parent
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     depth=st.integers(1, 3),
     lo=st.integers(0, 60),
@@ -387,7 +382,6 @@ def _shared_deep_db():
     return _shared_deep_db.db
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     ops=st.lists(
         st.tuples(
